@@ -1,0 +1,50 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``benchmarks/test_eN_*.py`` regenerates one paper claim (see
+DESIGN.md's experiment index).  The pytest-benchmark fixture times the
+*simulation run* (wall clock); the scientific output is the simulated
+metrics, which every benchmark prints as a table and appends to
+``benchmarks/out/`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, List, Sequence
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def report(experiment: str, title: str, headers: Sequence[str],
+           rows: Iterable[Sequence], notes: str = "") -> str:
+    """Format, print, and persist one experiment table."""
+    rows = [list(r) for r in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(_fmt(cell)))
+    lines: List[str] = [f"== {experiment}: {title} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt(c).ljust(w) for c, w in zip(row, widths)))
+    if notes:
+        lines.append(f"note: {notes}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    OUT_DIR.mkdir(exist_ok=True)
+    out = OUT_DIR / f"{experiment.lower()}.txt"
+    out.write_text(text + "\n")
+    return text
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an expensive simulation exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

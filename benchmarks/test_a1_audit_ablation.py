@@ -1,0 +1,145 @@
+"""A1 -- Ablation: SSC callbacks vs pinging service objects (section 7.2).
+
+Paper: "We originally tracked the state of service objects by
+periodically pinging them.  If the object failed to respond within a few
+seconds, it was declared to be dead.  However, we found that many
+single-threaded services were not able to respond to pings in a timely
+manner. ... we chose to use callbacks from the Service Controller."
+
+The ablation runs both auditors against the same pair of services -- one
+multi-threaded, one single-threaded and busy -- and counts false death
+verdicts.  The ping-based auditor wrongly kills the busy single-threaded
+service; the SSC-callback scheme never does.
+"""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core.control.ssc import ssc_ref
+from repro.idl import register_interface
+from repro.ocs import CallTimeout, OCSRuntime, ServiceUnavailable
+from repro.services.base import Service
+
+from common import once, report
+
+register_interface("BusyWorker", {
+    "ping": (),
+    "churn": ("seconds",),
+}, doc="ablation A1 workload service")
+
+
+class _WorkerServant:
+    def __init__(self, svc):
+        self._svc = svc
+
+    async def ping(self, ctx):
+        return "pong"
+
+    async def churn(self, ctx, seconds):
+        # A long CPU/disk-bound request: a single-threaded service cannot
+        # answer pings until it finishes.
+        await self._svc.kernel.sleep(seconds)
+        return "done"
+
+
+class SingleThreadedWorker(Service):
+    service_name = "stworker"
+
+    async def start(self):
+        self.ref = self.runtime.export(_WorkerServant(self), "BusyWorker",
+                                       single_threaded=True)
+        await self.register_objects([self.ref])
+        await self.bind_as_replica("stworker", self.host.ip, self.ref,
+                                   selector="sameserver")
+
+
+class MultiThreadedWorker(Service):
+    service_name = "mtworker"
+
+    async def start(self):
+        self.ref = self.runtime.export(_WorkerServant(self), "BusyWorker")
+        await self.register_objects([self.ref])
+        await self.bind_as_replica("mtworker", self.host.ip, self.ref,
+                                   selector="sameserver")
+
+
+async def ping_based_verdicts(cluster, client, refs, rounds, ping_timeout=3.0):
+    """The rejected design: ping the object, declare dead on timeout."""
+    verdicts = {ref: "alive" for ref in refs}
+    for _ in range(rounds):
+        for ref in refs:
+            try:
+                await client.runtime.invoke(ref, "ping", (),
+                                            timeout=ping_timeout)
+            except (CallTimeout, ServiceUnavailable):
+                verdicts[ref] = "dead"
+        await cluster.kernel.sleep(5.0)
+    return verdicts
+
+
+async def ssc_based_verdicts(cluster, client, refs):
+    """The chosen design: ask the local RAS (fed by SSC callbacks)."""
+    ras = await client.names.resolve("svc/ras")
+    statuses = await client.runtime.invoke(ras, "checkStatus", (refs,))
+    return dict(zip(refs, statuses))
+
+
+def run_ablation(seed=11001):
+    cluster = build_cluster(n_servers=2, seed=seed)
+    cluster.registry.register("stworker", SingleThreadedWorker)
+    cluster.registry.register("mtworker", MultiThreadedWorker)
+    client = cluster.client_on(cluster.servers[0], name="a1")
+    for svc in ("stworker", "mtworker"):
+        cluster.run_async(client.runtime.invoke(
+            ssc_ref(cluster.servers[0].ip), "startService", (svc,)))
+    assert cluster.settle(extra_names=[
+        f"svc/stworker/{cluster.servers[0].ip}",
+        f"svc/mtworker/{cluster.servers[0].ip}"])
+    st_ref = cluster.run_async(client.names.resolve(
+        f"svc/stworker/{cluster.servers[0].ip}"))
+    mt_ref = cluster.run_async(client.names.resolve(
+        f"svc/mtworker/{cluster.servers[0].ip}"))
+
+    # Put both services under long-request load.
+    load_client = cluster.client_on(cluster.servers[1], name="load")
+
+    async def load(ref):
+        while True:
+            try:
+                await load_client.runtime.invoke(ref, "churn", (30.0,),
+                                                 timeout=120.0)
+            except ServiceUnavailable:
+                await cluster.kernel.sleep(1.0)
+
+    cluster.kernel.create_task(load(st_ref))
+    cluster.kernel.create_task(load(mt_ref))
+    cluster.run_for(5.0)
+
+    ping_verdicts = cluster.run_async(
+        ping_based_verdicts(cluster, client, [st_ref, mt_ref], rounds=3))
+    ssc_verdicts = cluster.run_async(
+        ssc_based_verdicts(cluster, client, [st_ref, mt_ref]))
+    return {
+        "ping": {"single-threaded": ping_verdicts[st_ref],
+                 "multi-threaded": ping_verdicts[mt_ref]},
+        "ssc": {"single-threaded": ssc_verdicts[st_ref],
+                "multi-threaded": ssc_verdicts[mt_ref]},
+    }
+
+
+@pytest.mark.benchmark(group="a1")
+def test_a1_ping_vs_ssc_callbacks(benchmark):
+    result = once(benchmark, run_ablation)
+    report("A1", "audit design ablation: ping vs SSC callbacks (section 7.2)",
+           ["auditor", "single_threaded_busy", "multi_threaded_busy"],
+           [("ping-based", result["ping"]["single-threaded"],
+             result["ping"]["multi-threaded"]),
+            ("ssc-callbacks", result["ssc"]["single-threaded"],
+             result["ssc"]["multi-threaded"])],
+           notes="both services are alive; 'dead' is a false verdict")
+    # The rejected design falsely kills the busy single-threaded service.
+    assert result["ping"]["single-threaded"] == "dead"
+    assert result["ping"]["multi-threaded"] == "alive"
+    # The chosen design is right about both.
+    assert result["ssc"]["single-threaded"] == "alive"
+    assert result["ssc"]["multi-threaded"] == "alive"

@@ -1,0 +1,93 @@
+"""E1 -- Response time (paper section 9.3).
+
+Paper: "various constraints (notably a download bandwidth of 1 MByte per
+second) lead to a start-up time of 2-4 seconds for [rich] applications.
+...  Our applications are able to display cover within 0.5 seconds."
+
+We regenerate the series: application start time vs binary size on the
+settop downlink, with the cover latency alongside.  Shape to hold:
+start-up lands in the 2-4 s band for the 1.5-3 MB binaries, and cover at
+0.5 s always beats the download.
+"""
+
+import pytest
+
+from repro.cluster import build_full_cluster
+from repro.cluster.media import DEFAULT_APPS
+
+from common import once, report
+
+
+def run_app_starts():
+    cluster = build_full_cluster(n_servers=3, seed=1001)
+    stk = cluster.add_settop_kernel(1)
+    assert cluster.boot_settops([stk])
+    rows = []
+    # Tune through every application twice; second visits measure a warm
+    # name cache (the paper's steady state).
+    channels = {"navigator": "navigator", "vod": 5, "shopping": 6, "game": 7}
+    order = ["vod", "shopping", "game", "navigator", "vod", "shopping",
+             "game"]
+    seen = set()
+    for app in order:
+        cluster.run_async(stk.app_manager.tune(channels[app]))
+        t = stk.app_manager.last_tune
+        if t["app"] != app or app in seen:
+            continue
+        seen.add(app)
+        rows.append((app, t["bytes"], t["cover_at"], t["download_time"],
+                     t["total_time"]))
+        cluster.run_for(2.0)
+    return sorted(rows, key=lambda r: r[1])
+
+
+@pytest.mark.benchmark(group="e1")
+def test_e1_app_start_times(benchmark):
+    rows = once(benchmark, run_app_starts)
+    report("E1", "application start-up vs size (section 9.3)",
+           ["app", "bytes", "cover_s", "download_s", "total_s"], rows,
+           notes="paper: 2-4s start for rich apps; cover within 0.5s")
+    assert len(rows) == len(DEFAULT_APPS)
+    for app, size, cover, download, total in rows:
+        # Cover always beats the download (the user sees a response).
+        assert cover == 0.5
+        assert cover < download
+        # The rich apps (>=1.5 MB) land in the paper's 2-4s band (we allow
+        # ~0.5s of slack for protocol overheads at the top end).
+        assert 1.5 <= download <= 4.5, (app, download)
+    sizes = [r[1] for r in rows]
+    downloads = [r[3] for r in rows]
+    # Monotone: bigger binaries take longer (bandwidth-bound).
+    assert downloads == sorted(downloads)
+    # Throughput implied is the settop downlink, not the server or FDDI.
+    implied_bps = 8 * sizes[-1] / downloads[-1]
+    assert implied_bps <= 6_500_000
+
+
+@pytest.mark.benchmark(group="e1")
+def test_e1_concurrent_downloads_share_downlink(benchmark):
+    """Two settops downloading at once do not slow each other: the cap is
+    per settop (section 3.1), not shared."""
+
+    def run():
+        cluster = build_full_cluster(n_servers=3, seed=1002)
+        a = cluster.add_settop_kernel(1)
+        b = cluster.add_settop_kernel(1)
+        assert cluster.boot_settops([a, b])
+        times = {}
+
+        async def tune(stk, tag):
+            await stk.app_manager.tune(7)   # 3 MB game app
+            times[tag] = stk.app_manager.last_tune["download_time"]
+
+        cluster.kernel.create_task(tune(a, "a"))
+        cluster.kernel.create_task(tune(b, "b"))
+        cluster.run_for(30.0)
+        return times
+
+    times = once(benchmark, run)
+    report("E1b", "concurrent downloads, separate settop downlinks",
+           ["settop", "download_s"], sorted(times.items()))
+    assert len(times) == 2
+    for t in times.values():
+        assert t <= 5.5

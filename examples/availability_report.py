@@ -1,0 +1,80 @@
+"""Availability report: a scripted failure campaign with measurements.
+
+Uses the declarative :class:`repro.cluster.Scenario` runner to replay an
+operations-night from hell -- service kills, a whole-server crash, and a
+reboot -- against a live viewer, then prints the availability timeline
+the way section 9.5 reports it ("covered with only a very brief
+interruption").
+
+Run:  python examples/availability_report.py
+"""
+
+from repro.cluster import Scenario, build_full_cluster
+from repro.metrics.availability import AvailabilityTimeline
+
+
+def main() -> None:
+    cluster = build_full_cluster(n_servers=3, seed=909)
+    stk = cluster.add_settop_kernel(1)
+    assert cluster.boot_settops([stk])
+    cluster.run_async(stk.app_manager.tune(5))
+    vod = stk.app_manager.current_app
+    cluster.run_async(vod.play("Jurassic Park"))
+
+    timeline = AvailabilityTimeline(cluster.kernel)
+
+    def serving_mds(c):
+        for i, host in enumerate(c.servers):
+            proc = host.find_process("mds")
+            if proc is not None and any("pump" in t.name for t in proc._tasks):
+                return i
+        return None
+
+    def kill_serving_mds(c):
+        index = serving_mds(c)
+        if index is not None:
+            c.kill_service(index, "mds")
+        return index
+
+    def probe(c):
+        # The viewer's definition of "up": video actually flowing (a
+        # chunk within the last two chunk intervals).
+        flowing = (vod._last_chunk is not None
+                   and c.now - vod._last_chunk <= 2.0 and not vod.finished)
+        if flowing or vod.finished:
+            timeline.mark_up()
+        else:
+            timeline.mark_down()
+        return {"flowing": flowing, "position": round(vod.position, 1),
+                "stalls": len(vod.interruptions)}
+
+    print("== Scripted campaign: 4 faults over 4 simulated minutes ==")
+    report = (Scenario()
+              .at(20.0, "kill serving MDS", kill_serving_mds)
+              .at(70.0, "kill all MMS replicas",
+                  lambda c: [c.kill_service(i, "mms") for i in range(3)])
+              .at(120.0, "crash server-2", lambda c: c.crash_server(2))
+              .at(180.0, "reboot server-2", lambda c: c.reboot_server(2))
+              .observe_every(1.0, "viewer", probe)
+              .lasting(240.0)
+              .run(cluster))
+
+    for event in report.events:
+        print(f"  t={event['t']:6.1f}s  {event['label']}")
+
+    print("\n== Viewer availability over the campaign ==")
+    summary = timeline.summary()
+    print(f"availability: {summary['availability']:.4f}")
+    print(f"outages: {summary['outages']} "
+          f"(longest {summary['longest_outage']:.1f}s, "
+          f"total downtime {summary['downtime']:.1f}s)")
+    stalls = report.series("viewer", "stalls")[-1][1]
+    position = report.series("viewer", "position")[-1][1]
+    print(f"stream interruptions survived: {stalls}; "
+          f"final position {position:.0f}s of 280s")
+    print("\nPaper section 9.5: 'Most failures ... were covered with only "
+          "a very brief interruption.'")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""A busy evening: dozens of concurrent viewers across neighbourhoods.
+
+Exercises the scalability story (sections 5.1, 9.6): per-neighbourhood
+and per-server replicas share the load, movie opens follow a Zipf
+popularity curve, and the run reports the response-time distribution
+against the paper's half-second expectation plus section 9.3's app-start
+numbers.
+
+Run:  python examples/busy_evening.py [settops-per-neighborhood]
+"""
+
+import sys
+
+from repro.cluster import build_full_cluster
+from repro.metrics.counters import MessageCensus
+from repro.metrics.latency import summarize
+from repro.workloads import run_viewers
+
+
+def main() -> None:
+    per_nbhd = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    cluster = build_full_cluster(n_servers=3, seed=515)
+    kernels = []
+    for nbhd in cluster.neighborhoods:
+        for _ in range(per_nbhd):
+            kernels.append(cluster.add_settop_kernel(nbhd))
+    print(f"== Booting {len(kernels)} settops across "
+          f"{len(cluster.neighborhoods)} neighborhoods ==")
+    assert cluster.boot_settops(kernels, timeout=300.0)
+    print(f"all booted by t={cluster.now:.0f}s")
+
+    census = MessageCensus(cluster.net)
+    duration = 600.0
+    print(f"\n== Running {duration:.0f}s of viewer sessions ==")
+    stats = run_viewers(cluster, kernels, duration, seed=99)
+
+    print(f"\nmovie opens: {stats.opens} "
+          f"(+{stats.open_failures} failed), "
+          f"{stats.watch_seconds/3600:.1f} viewer-hours watched, "
+          f"{stats.interruptions} interruptions")
+    if stats.open_latencies:
+        s = summarize(stats.open_latencies)
+        print(f"open latency: p50={s['p50']:.2f}s p90={s['p90']:.2f}s "
+              f"max={s['max']:.2f}s (target: sub-second control path)")
+    if stats.tune_latencies:
+        s = summarize(stats.tune_latencies)
+        print(f"app starts:   p50={s['p50']:.2f}s p90={s['p90']:.2f}s "
+              f"(paper section 9.3: 2-4s)")
+    print(f"shopping orders: {stats.orders}, game rounds: {stats.game_rounds}")
+
+    print("\nmessage mix over the run:")
+    for group, rate in sorted(census.rate_per_second(duration).items()):
+        print(f"  {group:>16}: {rate:8.2f} msg/s")
+
+    print("\nper-server MDS load at the end:")
+    client = cluster.client_on(cluster.servers[0], name="report")
+
+    async def loads():
+        out = {}
+        listing = await client.names.list_repl("svc/mds")
+        for member, _kind, ref in listing:
+            out[member] = await client.runtime.invoke(ref, "load", ())
+        return out
+
+    for member, load in sorted(cluster.run_async(loads()).items()):
+        print(f"  {member}: {load['open_streams']}/{load['capacity']} streams")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""repro: reproduction of "A Highly Available, Scalable ITV System" (SOSP'95).
+
+The package reimplements, from scratch and on a deterministic
+virtual-time simulation substrate, the Object Communication System (OCS)
+and the full interactive-TV service stack SGI built for Time Warner's
+Orlando trial: distributed objects, the replicated name service with
+ReplicatedContexts/selectors/auditing, the Resource Audit Service, the
+service controllers, and the ITV services and settop software on top.
+
+Start here:
+
+>>> from repro.cluster import build_full_cluster
+>>> cluster = build_full_cluster(n_servers=3, seed=1)
+>>> stk = cluster.add_settop_kernel(neighborhood=1)
+>>> cluster.boot_settops([stk])
+True
+
+See README.md for the tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for the paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,13 @@
+"""Authentication service: Kerberos-like per-call identity (section 3.3)."""
+
+from repro.auth.service import AuthenticationService, enable_signing, install_verifier
+from repro.auth.tickets import Ticket, sign_ticket, verify_ticket
+
+__all__ = [
+    "AuthenticationService",
+    "Ticket",
+    "enable_signing",
+    "install_verifier",
+    "sign_ticket",
+    "verify_ticket",
+]

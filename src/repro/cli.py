@@ -1,0 +1,107 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Narrated demonstrations of the reproduced system, runnable without
+writing any code:
+
+    python -m repro quickstart            # boot + Figure 3/4 flows
+    python -m repro drill                 # the section 3.5 failure drills
+    python -m repro evening --settops 3   # a busy viewing evening
+    python -m repro operator              # CSC tooling walkthrough
+    python -m repro report                # scripted availability campaign
+    python -m repro inventory             # Figure 2 service census
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_quickstart(_args) -> int:
+    from examples.quickstart import main
+    main()
+    return 0
+
+
+def _cmd_drill(_args) -> int:
+    from examples.failover_drill import main
+    main()
+    return 0
+
+
+def _cmd_evening(args) -> int:
+    sys.argv = ["busy_evening", str(args.settops)]
+    from examples.busy_evening import main
+    main()
+    return 0
+
+
+def _cmd_operator(_args) -> int:
+    from examples.operator_console import main
+    main()
+    return 0
+
+
+def _cmd_report(_args) -> int:
+    from examples.availability_report import main
+    main()
+    return 0
+
+
+def _cmd_inventory(args) -> int:
+    from repro.cluster import build_full_cluster
+    cluster = build_full_cluster(n_servers=args.servers, seed=args.seed)
+    print(f"== Service census ({args.servers} servers, "
+          f"{len(cluster.neighborhoods)} neighborhoods) ==")
+    for host, services in sorted(cluster.running_services().items()):
+        print(f"  {host}: {len(services)} processes")
+        print(f"    {', '.join(services)}")
+    print(f"\nservice types registered: {len(cluster.registry.names())}")
+    print(f"placement (mms): "
+          f"{cluster.cluster_config['service_placement']['mms']}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Highly Available, Scalable ITV "
+                    "System' (SOSP 1995)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("quickstart", help="boot the cluster and play a movie") \
+        .set_defaults(fn=_cmd_quickstart)
+    sub.add_parser("drill", help="replay the section 3.5 failure scenarios") \
+        .set_defaults(fn=_cmd_drill)
+
+    evening = sub.add_parser("evening", help="run a busy viewing evening")
+    evening.add_argument("--settops", type=int, default=3,
+                         help="settops per neighborhood (default 3)")
+    evening.set_defaults(fn=_cmd_evening)
+
+    sub.add_parser("operator", help="CSC operator tooling walkthrough") \
+        .set_defaults(fn=_cmd_operator)
+    sub.add_parser("report", help="scripted availability campaign") \
+        .set_defaults(fn=_cmd_report)
+
+    inventory = sub.add_parser("inventory", help="Figure 2 service census")
+    inventory.add_argument("--servers", type=int, default=3)
+    inventory.add_argument("--seed", type=int, default=0)
+    inventory.set_defaults(fn=_cmd_inventory)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    # The examples live next to the package in a source checkout; make
+    # them importable when invoked as an installed module too.
+    import pathlib
+    repo_root = pathlib.Path(__file__).resolve().parent.parent.parent
+    if (repo_root / "examples").is_dir() and str(repo_root) not in sys.path:
+        sys.path.insert(0, str(repo_root))
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

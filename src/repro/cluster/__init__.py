@@ -1,0 +1,7 @@
+"""Cluster assembly: bring up the full Orlando-style system (Figures 1-2)."""
+
+from repro.cluster.builder import Cluster, build_cluster, build_full_cluster
+from repro.cluster.scenario import Scenario, ScenarioReport
+
+__all__ = ["Cluster", "Scenario", "ScenarioReport", "build_cluster",
+           "build_full_cluster"]

@@ -1,0 +1,97 @@
+"""Content distribution: movies, application binaries, shop catalog.
+
+The trial's content plan, sized so the section 9.3 numbers fall out:
+application binaries of 1.5-3 MByte take 2-4 s on the settop downlink,
+and movies are MPEG-era CBR streams replicated on at least two servers
+("movies are replicated on more than one server", section 3.5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.db.service import seed_database
+from repro.services.file_service import seed_file
+from repro.services.mds import seed_movie
+from repro.services.rds import seed_data
+
+#: channel -> application or venue (section 3.4.3: "Some channels
+#: correspond to single applications, others to venues through which a
+#: user can find a set of applications, e.g. games.")
+DEFAULT_CHANNELS = {4: "navigator", 5: "vod", 6: "shopping", 7: "game",
+                    8: "venue:arcade", 9: "venue:lifestyle"}
+
+#: venue name -> the applications it gathers
+DEFAULT_VENUES = {
+    "arcade": ["game"],
+    "lifestyle": ["shopping", "vod"],
+}
+
+#: application binaries: name -> bytes (1.5-3 MB -> 2-4 s at 6 Mbit/s)
+DEFAULT_APPS = {
+    "navigator": 1_500_000,
+    "vod": 2_200_000,
+    "shopping": 2_600_000,
+    "game": 3_000_000,
+}
+
+#: shared assets downloadable via the RDS
+DEFAULT_ASSETS = {
+    "fonts/helvetica": 180_000,
+    "fonts/times": 170_000,
+    "images/menu-bg": 420_000,
+    "images/store-front": 380_000,
+}
+
+#: title -> (duration seconds, bitrate bps); durations kept short enough
+#: to simulate full plays, with one feature-length title
+DEFAULT_MOVIES: Dict[str, Tuple[float, float]] = {
+    "T2": (300.0, 3_000_000),
+    "Casablanca": (240.0, 3_000_000),
+    "Toy Story": (200.0, 3_000_000),
+    "The Fugitive": (260.0, 3_000_000),
+    "Jurassic Park": (280.0, 3_000_000),
+    "Sneakers": (220.0, 3_000_000),
+}
+
+DEFAULT_CATALOG = {
+    "tshirt": {"name": "Trial T-Shirt", "price": 14.99},
+    "mug": {"name": "FSN Mug", "price": 7.99},
+    "cap": {"name": "Orlando Cap", "price": 11.50},
+    "remote": {"name": "Spare Remote", "price": 24.00},
+}
+
+
+def seed_default_content(cluster, movies: Dict[str, Tuple[float, float]] = None,
+                         copies: int = 2) -> None:
+    """Distribute content across the cluster's servers.
+
+    Every server gets the full RDS data set (apps, fonts, images, seeded
+    kernels) and the shop catalog; each movie lands on ``copies`` servers
+    round-robin so single-server failures are coverable.
+    """
+    movies = movies if movies is not None else DEFAULT_MOVIES
+    servers = cluster.servers
+    cluster.cluster_config.setdefault("channels", dict(DEFAULT_CHANNELS))
+    cluster.cluster_config.setdefault("venues", dict(DEFAULT_VENUES))
+    for host in servers:
+        for name, size in DEFAULT_APPS.items():
+            seed_data(host.disk, f"apps/{name}", size, kind="binary")
+        for name, size in DEFAULT_ASSETS.items():
+            seed_data(host.disk, name, size)
+        seed_database(host.disk, "shop_catalog", DEFAULT_CATALOG)
+        seed_file(host.disk, "etc/motd", 2_000)
+        seed_file(host.disk, "content/promo.mpg", 40_000_000)
+    for idx, (title, (duration, bitrate)) in enumerate(sorted(movies.items())):
+        for c in range(min(copies, len(servers))):
+            host = servers[(idx + c) % len(servers)]
+            seed_movie(host.disk, title, duration, bitrate)
+
+
+def movie_locations(cluster, title: str) -> List[str]:
+    """Which servers carry a title (inspection helper for tests/benches)."""
+    out = []
+    for host in cluster.servers:
+        if f"movies/{title}" in host.disk:
+            out.append(host.name)
+    return out

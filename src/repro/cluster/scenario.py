@@ -1,0 +1,123 @@
+"""Declarative failure scenarios: timed fault scripts over a cluster.
+
+Experiments and examples keep writing the same shape of code -- "at t+10
+kill the MDS, at t+40 crash server 2, observe X between events".  A
+:class:`Scenario` captures that shape: an ordered script of timed
+actions with named observation hooks, producing a structured report of
+what happened when.  It drives exactly the public fault-injection
+surface of :class:`repro.cluster.builder.Cluster`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster.builder import Cluster
+
+Action = Callable[[Cluster], Any]
+Probe = Callable[[Cluster], Any]
+
+
+@dataclass
+class _Step:
+    at: float
+    label: str
+    action: Action
+
+
+@dataclass
+class ScenarioReport:
+    """What a scenario run produced."""
+
+    started_at: float
+    finished_at: float
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    observations: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
+
+    def series(self, probe_name: str, key: Optional[str] = None) -> List:
+        rows = self.observations.get(probe_name, [])
+        if key is None:
+            return [(r["t"], r["value"]) for r in rows]
+        return [(r["t"], r["value"].get(key)) for r in rows]
+
+    def event_times(self, label: str) -> List[float]:
+        return [e["t"] for e in self.events if e["label"] == label]
+
+
+class Scenario:
+    """A timed fault/observation script.
+
+    >>> scenario = (Scenario()
+    ...     .at(10.0, "kill mds", lambda c: c.kill_service(0, "mds"))
+    ...     .at(60.0, "crash server", lambda c: c.crash_server(1))
+    ...     .observe_every(5.0, "streams", count_streams)
+    ...     .lasting(120.0))
+    >>> report = scenario.run(cluster)
+    """
+
+    def __init__(self) -> None:
+        self._steps: List[_Step] = []
+        self._probes: List[tuple] = []   # (interval, name, fn)
+        self._duration = 60.0
+
+    def at(self, offset: float, label: str, action: Action) -> "Scenario":
+        """Schedule ``action(cluster)`` at ``offset`` seconds into the run."""
+        if offset < 0:
+            raise ValueError("scenario offsets must be >= 0")
+        self._steps.append(_Step(at=offset, label=label, action=action))
+        return self
+
+    def observe_every(self, interval: float, name: str,
+                      probe: Probe) -> "Scenario":
+        """Sample ``probe(cluster)`` every ``interval`` seconds."""
+        if interval <= 0:
+            raise ValueError("probe interval must be positive")
+        self._probes.append((interval, name, probe))
+        return self
+
+    def lasting(self, duration: float) -> "Scenario":
+        """Total scenario length; must cover every scheduled step."""
+        self._duration = duration
+        return self
+
+    def run(self, cluster: Cluster) -> ScenarioReport:
+        steps = sorted(self._steps, key=lambda s: s.at)
+        if steps and steps[-1].at > self._duration:
+            raise ValueError("a step is scheduled past the scenario end")
+        start = cluster.now
+        report = ScenarioReport(started_at=start, finished_at=start)
+        next_probe = {name: 0.0 for _i, name, _p in self._probes}
+
+        elapsed = 0.0
+        step_index = 0
+        while elapsed < self._duration:
+            # The next interesting instant: a step or a probe tick.
+            upcoming = [self._duration]
+            if step_index < len(steps):
+                upcoming.append(steps[step_index].at)
+            for interval, name, _probe in self._probes:
+                upcoming.append(next_probe[name])
+            target = max(min(upcoming), elapsed)
+            if target > elapsed:
+                cluster.run_for(target - elapsed)
+                elapsed = target
+            if step_index < len(steps) and steps[step_index].at <= elapsed:
+                step = steps[step_index]
+                step_index += 1
+                result = step.action(cluster)
+                report.events.append({"t": elapsed, "label": step.label,
+                                      "result": result})
+                continue
+            fired = False
+            for interval, name, probe in self._probes:
+                if next_probe[name] <= elapsed:
+                    value = probe(cluster)
+                    report.observations.setdefault(name, []).append(
+                        {"t": elapsed, "value": value})
+                    next_probe[name] = elapsed + interval
+                    fired = True
+            if not fired and target >= self._duration:
+                break
+        report.finished_at = cluster.now
+        return report

@@ -1,0 +1,21 @@
+"""The paper's primary contribution: mechanisms for availability + scaling.
+
+Subpackages:
+
+- :mod:`repro.core.naming` -- the extended name service: hierarchical
+  contexts, replicated contexts with selectors, auditing of dead objects,
+  and master/slave replication with majority election (paper sections 4-5).
+- :mod:`repro.core.ras` -- the Resource Audit Service and the client-side
+  audit library (section 7), plus the rejected alternatives of section 7.1
+  for the comparison experiment.
+- :mod:`repro.core.control` -- the Server and Cluster Service Controllers
+  (section 6).
+- :mod:`repro.core.replication` -- the two replication styles built on the
+  name service: multiple active replicas and primary/backup via the
+  bind-retry race (section 5).
+- :mod:`repro.core.rebind` -- the auto-rebinding client proxy (section 8.2).
+"""
+
+from repro.core.params import Params
+
+__all__ = ["Params"]

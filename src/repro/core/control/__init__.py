@@ -1,0 +1,22 @@
+"""Service controllers (paper section 6).
+
+- :mod:`repro.core.control.ssc` -- the Server Service Controller: one per
+  machine, started by init, (re)starting services and tracking their
+  exported objects for the Resource Audit Service.
+- :mod:`repro.core.control.csc` -- the Cluster Service Controller:
+  primary/backup, distributes services across servers from the database
+  configuration and pings SSCs.
+- :mod:`repro.core.control.registry` -- the table of service factories a
+  controller can start (the deployed system's service binaries).
+"""
+
+from repro.core.control.registry import ServiceEnv, ServiceRegistry
+from repro.core.control.ssc import SSC_PORT, ServerServiceController, ssc_ref
+
+__all__ = [
+    "SSC_PORT",
+    "ServerServiceController",
+    "ServiceEnv",
+    "ServiceRegistry",
+    "ssc_ref",
+]

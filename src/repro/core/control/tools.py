@@ -1,0 +1,48 @@
+"""Operator tools (paper sections 6.2, 8.1).
+
+"There are simple tools that allow an operator to cause a service or
+group of services to be stopped, started, or moved between nodes."
+These drive the CSC primary through its IDL interface; they are what a
+human operator runs after a server failure to reassign the
+per-neighbourhood services that are not restarted automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.naming.client import NameClient
+from repro.core.params import Params
+from repro.core.rebind import RebindingProxy
+from repro.ocs.runtime import OCSRuntime
+
+
+class OperatorConsole:
+    """An operator session bound to the cluster's CSC primary."""
+
+    def __init__(self, runtime: OCSRuntime, names: NameClient,
+                 params: Optional[Params] = None):
+        self._csc = RebindingProxy(runtime, names, "svc/csc",
+                                   params or names.params)
+
+    async def placement(self) -> Dict[str, List[str]]:
+        return await self._csc.call("placement", timeout=15.0)
+
+    async def cluster_state(self) -> Dict[str, Optional[List[str]]]:
+        return await self._csc.call("clusterState", timeout=15.0)
+
+    async def server_status(self) -> Dict[str, bool]:
+        return await self._csc.call("serverStatus", timeout=15.0)
+
+    async def start_service(self, service: str, server_ip: str) -> None:
+        await self._csc.call("startServiceOn", service, server_ip,
+                              timeout=15.0)
+
+    async def stop_service(self, service: str, server_ip: str) -> None:
+        await self._csc.call("stopServiceOn", service, server_ip,
+                              timeout=15.0)
+
+    async def move_service(self, service: str, from_ip: str,
+                           to_ip: str) -> None:
+        await self._csc.call("moveService", service, from_ip, to_ip,
+                              timeout=15.0)

@@ -1,0 +1,47 @@
+"""Name service exceptions, all registered for wire transport."""
+
+from repro.idl import register_exception
+
+
+@register_exception
+class NamingError(Exception):
+    """Base class for name-service errors."""
+
+
+@register_exception
+class NameNotFound(NamingError):
+    """The name does not denote a binding in the context."""
+
+
+@register_exception
+class AlreadyBound(NamingError):
+    """The name is already bound.
+
+    This error *is* the primary-election mechanism for primary/backup
+    services (section 5.2): every backup's periodic ``bind`` fails with
+    it while the primary's binding is alive.
+    """
+
+
+@register_exception
+class NotAContext(NamingError):
+    """Path traversal hit a leaf object where a context was required."""
+
+
+@register_exception
+class InvalidName(NamingError):
+    """Malformed name (empty component, bad characters)."""
+
+
+@register_exception
+class NoMaster(NamingError):
+    """No name-service master currently elected; updates cannot proceed.
+
+    Reads are still served from any replica.  Callers retry -- the
+    backup-bind loop simply tries again next interval.
+    """
+
+
+@register_exception
+class SelectorFailed(NamingError):
+    """The replicated context's selector could not produce a choice."""

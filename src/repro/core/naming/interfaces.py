@@ -1,0 +1,71 @@
+"""IDL declarations for the name service (paper section 4.4).
+
+The operation set matches the paper's ``NamingContext`` interface, plus
+``resolveFor`` (the internal recursion carrying the original caller's
+address so neighbourhood selectors work across context hops),
+``setSelector``/``reportLoad`` (management of builtin selector policies),
+and the ``NameReplica`` internal interface used for master/slave
+replication and majority election (section 4.6).
+"""
+
+from repro.idl import MethodDef, register_interface
+
+NAMING_CONTEXT = register_interface(
+    "NamingContext",
+    {
+        # "Object resolve(in Name name) -- Resolve a name to an object."
+        "resolve": ("name",),
+        # Internal recursion step: resolve relative to this context on
+        # behalf of the original caller at ``caller_ip``.
+        "resolveFor": ("name", "caller_ip"),
+        # "void bind(in Name name, in Object obj)"
+        "bind": ("name", "obj"),
+        # "void unbind(in Name name)"
+        "unbind": ("name",),
+        # "void bindNewContext(in Name name)"
+        "bindNewContext": ("name",),
+        # "void bindReplContext(in Name name)" -- extended with the
+        # initial builtin selector policy.
+        "bindReplContext": ("name", "selector"),
+        # "void list(in Name name, out BindingList bl)"
+        "list": ("name",),
+        # "listRepl ... returns binding information about all of the
+        # bindings in a replicated context."
+        "listRepl": ("name",),
+        "setSelector": ("name", "spec"),
+        "reportLoad": ("name", "member", "load"),
+    },
+    doc="Hierarchical naming context (paper section 4.4)",
+)
+
+REPLICATED_CONTEXT = register_interface(
+    "ReplicatedContext",
+    {},
+    base="NamingContext",
+    doc="Context whose lookups go through a selector (section 4.5)",
+)
+
+SELECTOR = register_interface(
+    "Selector",
+    {
+        # select(bindings, caller_ip) -> chosen member name.  ``bindings``
+        # is the Figure 6 list of (name, object reference) pairs.
+        "select": ("bindings", "caller_ip"),
+    },
+    doc="Replica chooser for a ReplicatedContext (section 4.5)",
+)
+
+NAME_REPLICA = register_interface(
+    "NameReplica",
+    {
+        "forwardUpdate": ("op",),
+        "applyUpdate": MethodDef("applyUpdate", ("seq", "op"), oneway=True),
+        "requestVote": ("epoch", "candidate_ip", "candidate_seq"),
+        # Acknowledged so the master can count reachable replicas: it
+        # steps down when it no longer commands a majority.
+        "heartbeat": ("epoch", "master_ip", "seq"),
+        "fetchState": (),
+        "status": (),
+    },
+    doc="Internal replica-to-replica protocol (section 4.6)",
+)

@@ -1,0 +1,629 @@
+"""Name-service replica: master/slave replication, election, auditing.
+
+Section 4.6: "Because the name service is essential to all services, it
+is replicated on every server node with master-slave replication.  The
+master is elected using a majority scheme similar to the one in the Echo
+file system.  Once a master is elected, all updates are forwarded to the
+master, which serializes them and multicasts them to the slaves.  Any
+name service replica can process a resolve or list operation without
+contacting the master."
+
+Section 4.7: the name service "uses the Resource Audit Service to
+determine if a service object is alive or dead ... and removes an object
+within a few seconds of its death" -- the master polls its local RAS
+every ``Params.ns_audit_poll`` seconds (section 9.7).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import repro.core.naming.interfaces  # noqa: F401 - registers IDL types
+from repro.core.naming.context import ContextServant
+from repro.core.naming.errors import (
+    NameNotFound,
+    NamingError,
+    NoMaster,
+    NotAContext,
+    SelectorFailed,
+)
+from repro.core.naming.selectors import SelectorState, run_builtin
+from repro.core.naming.store import SELECTOR_NAME, NameStore, join_name, split_name
+from repro.core.params import Params
+from repro.idl import lookup_interface
+from repro.net.network import Network
+from repro.ocs.exceptions import ServiceUnavailable
+from repro.ocs.objref import ANY_INCARNATION, ObjectRef
+from repro.ocs.runtime import CallContext, OCSRuntime
+from repro.sim.errors import CancelledError
+from repro.sim.host import Host, Process
+from repro.sim.kernel import Semaphore, gather
+from repro.sim.rand import SeededRandom
+from repro.sim.trace import TraceLog
+
+ROOT_OID = ""
+REPLICA_OID = "replica"
+
+# CPU cost of one resolve on a replica (mid-90s SGI Challenge scale: a
+# couple of thousand lookups per second per node).
+RESOLVE_CPU_SECONDS = 0.0005
+
+
+def _context_oid(path: str) -> str:
+    return ROOT_OID if path == "" else f"ctx:{path}"
+
+
+class NameReplicaProcess:
+    """One name-service replica: the ``ns`` process on a server."""
+
+    def __init__(self, process: Process, runtime: OCSRuntime, params: Params,
+                 replica_ips: List[str], rng: Optional[SeededRandom] = None,
+                 trace: Optional[TraceLog] = None):
+        self.process = process
+        self.runtime = runtime
+        self.kernel = process.kernel
+        self.params = params
+        self.ip = runtime.ip
+        self.replica_ips = sorted(replica_ips)
+        if self.ip not in self.replica_ips:
+            raise ValueError(f"{self.ip} not in the replica set {replica_ips}")
+        self.rng = rng or SeededRandom(hash(self.ip) & 0xFFFF)
+        self.trace = trace
+        self.store = NameStore()
+        self.selector_state = SelectorState(rng=self.rng.stream("selectors"))
+        self._cpu = Semaphore(self.kernel, 1)
+        # -- election state (Echo-style majority voting) ----------------
+        self.role = "slave"                  # slave | candidate | master
+        self.epoch = 0
+        self.voted_for: Optional[str] = None
+        self.master_ip: Optional[str] = None
+        self.last_heartbeat = self.kernel.now
+        self._election_timeout = self._new_timeout()
+        self._fetching_state = False
+        # -- metrics ------------------------------------------------------
+        self.resolves_served = 0
+        self.updates_forwarded = 0
+        self.updates_applied = 0
+        self.audit_removals = 0
+        # -- exports -------------------------------------------------------
+        self._context_servants: Dict[str, ContextServant] = {}
+        self.runtime.export(_ReplicaServant(self), "NameReplica",
+                            object_id=REPLICA_OID)
+        self._sync_context_exports()
+        self.process.create_task(self._watchdog(), name="ns-watchdog")
+
+    # ------------------------------------------------------------------
+    # public helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def quorum(self) -> int:
+        return len(self.replica_ips) // 2 + 1
+
+    def context_ref(self, path: str, kind: str = "context") -> ObjectRef:
+        """A persistent reference to one of this replica's contexts.
+
+        Context references carry the wildcard incarnation: "name service
+        context objects are persistent so that they can be activated on
+        demand" (section 9.2).
+        """
+        type_id = "ReplicatedContext" if kind == "replicated" else "NamingContext"
+        return ObjectRef(ip=self.ip, port=self.runtime.port,
+                         incarnation=ANY_INCARNATION, type_id=type_id,
+                         object_id=_context_oid(path))
+
+    def root_ref(self) -> ObjectRef:
+        return self.context_ref("")
+
+    def peer_replica_ref(self, ip: str) -> ObjectRef:
+        return ObjectRef(ip=ip, port=self.params.ns_port,
+                         incarnation=ANY_INCARNATION, type_id="NameReplica",
+                         object_id=REPLICA_OID)
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        if self.trace is not None:
+            self.trace.emit("ns", event, replica=self.ip, **fields)
+
+    # ------------------------------------------------------------------
+    # resolution (reads: served locally, never contact the master)
+    # ------------------------------------------------------------------
+
+    async def op_resolve(self, path: str, caller_ip: str):
+        """Resolve an absolute path on behalf of ``caller_ip``."""
+        self.resolves_served += 1
+        # Model the replica's CPU: resolves are cheap ("the resolve
+        # operation is quite fast", section 8.2) but not free, so one
+        # replica has finite lookup capacity and capacity grows with
+        # replicas (section 4.6) -- experiment E4b measures exactly this.
+        await self._cpu.acquire()
+        try:
+            await self.kernel.sleep(RESOLVE_CPU_SECONDS)
+        finally:
+            self._cpu.release()
+        components = split_name(path)
+        node = self.store.root
+        prefix: List[str] = []
+        i = 0
+        while True:
+            if node.kind == "leaf":
+                ref = node.ref
+                if i >= len(components):
+                    return ref
+                # A context implemented by another name service (section
+                # 4.3, third class): hand the rest of the lookup off.
+                if lookup_interface(ref.type_id).is_a("NamingContext"):
+                    rest = join_name(components[i:])
+                    return await self.runtime.invoke(
+                        ref, "resolveFor", (rest, caller_ip),
+                        timeout=self.params.call_timeout)
+                raise NotAContext(join_name(prefix))
+            if i >= len(components):
+                if node.kind == "replicated":
+                    # Resolving the replicated context itself: the
+                    # selector chooses which member to return (Figure 6).
+                    chosen = await self._select(node, prefix, caller_ip)
+                    node = node.bindings[chosen]
+                    prefix.append(chosen)
+                    continue
+                return self.context_ref(join_name(prefix), node.kind)
+            comp = components[i]
+            if node.kind == "replicated" and comp not in node.bindings:
+                if comp == SELECTOR_NAME:
+                    raise NameNotFound(f"{join_name(prefix)}/selector")
+                # Figure 7: the selector picks the member context in which
+                # to complete the lookup; the component is not consumed.
+                chosen = await self._select(node, prefix, caller_ip)
+                node = node.bindings[chosen]
+                prefix.append(chosen)
+                continue
+            node = self.store.child(node, comp)
+            prefix.append(comp)
+            i += 1
+
+    async def op_list(self, path: str, caller_ip: str):
+        """List bindings; a replicated context lists its *selected* member."""
+        walked = await self._walk_for_list(path, caller_ip)
+        if walked[0] == "remote":
+            _tag, ref, rest = walked
+            return await self.runtime.invoke(ref, "list", (rest,),
+                                             timeout=self.params.call_timeout)
+        _tag, node, prefix = walked
+        if node.kind == "replicated":
+            chosen = await self._select(node, prefix, caller_ip)
+            child = node.bindings[chosen]
+            return [(chosen, child.kind, child.ref)]
+        if node.kind == "leaf":
+            # A remotely implemented context bound as a leaf: delegate.
+            if lookup_interface(node.ref.type_id).is_a("NamingContext"):
+                return await self.runtime.invoke(
+                    node.ref, "list", ("",), timeout=self.params.call_timeout)
+            raise NotAContext(path)
+        return [(name, child.kind, child.ref)
+                for name, child in sorted(node.bindings.items())]
+
+    async def op_list_repl(self, path: str, caller_ip: str):
+        """``listRepl``: binding information about *all* members."""
+        walked = await self._walk_for_list(path, caller_ip)
+        if walked[0] == "remote":
+            _tag, ref, rest = walked
+            return await self.runtime.invoke(ref, "listRepl", (rest,),
+                                             timeout=self.params.call_timeout)
+        _tag, node, _prefix = walked
+        if node.kind != "replicated":
+            raise NotAContext(f"{path!r} is not a replicated context")
+        return [(name, child.kind, child.ref) for name, child in node.members()]
+
+    async def _walk_for_list(self, path: str, caller_ip: str):
+        """Walk to the listed node, or hand off at a remote context.
+
+        Returns ``("local", node, prefix)`` or ``("remote", ref, rest)``.
+        """
+        components = split_name(path)
+        node = self.store.root
+        prefix: List[str] = []
+        i = 0
+        while i < len(components):
+            comp = components[i]
+            if node.kind == "leaf":
+                if lookup_interface(node.ref.type_id).is_a("NamingContext"):
+                    return ("remote", node.ref, join_name(components[i:]))
+                raise NotAContext(join_name(prefix))
+            if node.kind == "replicated" and comp not in node.bindings:
+                chosen = await self._select(node, prefix, caller_ip)
+                node = node.bindings[chosen]
+                prefix.append(chosen)
+                continue
+            node = self.store.child(node, comp)
+            prefix.append(comp)
+            i += 1
+        return ("local", node, prefix)
+
+    async def _select(self, node, prefix: List[str], caller_ip: str) -> str:
+        path = join_name(prefix)
+        members = node.members()
+        if not members:
+            raise SelectorFailed(f"replicated context {path!r} has no members")
+        bindings = []
+        for name, child in members:
+            if child.kind == "leaf":
+                bindings.append((name, child.ref))
+            else:
+                bindings.append(
+                    (name, self.context_ref(join_name(prefix + [name]), child.kind)))
+        spec = node.selector
+        if spec[0] == "builtin":
+            return run_builtin(spec[1], bindings, caller_ip, path,
+                               self.selector_state)
+        # Custom Selector object (Figure 6): invoked remotely.
+        chosen = await self.runtime.invoke(
+            spec[1], "select", (bindings, caller_ip),
+            timeout=self.params.call_timeout)
+        if not any(chosen == name for name, _ in bindings):
+            raise SelectorFailed(
+                f"selector for {path!r} chose unknown member {chosen!r}")
+        return chosen
+
+    # ------------------------------------------------------------------
+    # updates (writes: serialized through the master)
+    # ------------------------------------------------------------------
+
+    async def op_mutate(self, op: tuple):
+        """Entry point for update operations arriving at this replica."""
+        remote = self._locate_remote_for_update(op[1])
+        if remote is not None:
+            ref, rest = remote
+            await self._delegate_update(ref, rest, op)
+            return
+        await self.submit_update(op)
+
+    def _locate_remote_for_update(self, path: str) -> Optional[Tuple[ObjectRef, str]]:
+        """Does this path cross into a remotely implemented context?"""
+        node = self.store.root
+        components = split_name(path)
+        for i, comp in enumerate(components):
+            if node.kind == "leaf":
+                if lookup_interface(node.ref.type_id).is_a("NamingContext"):
+                    return node.ref, join_name(components[i:])
+                raise NotAContext(join_name(components[:i]))
+            if comp not in node.bindings:
+                return None  # create/bind below a local context
+            node = node.bindings[comp]
+        return None
+
+    async def _delegate_update(self, ref: ObjectRef, rest: str, op: tuple):
+        kind = op[0]
+        timeout = self.params.call_timeout
+        if kind == "bind":
+            await self.runtime.invoke(ref, "bind", (rest, op[2]), timeout=timeout)
+        elif kind == "unbind":
+            await self.runtime.invoke(ref, "unbind", (rest,), timeout=timeout)
+        elif kind == "mkcontext":
+            await self.runtime.invoke(ref, "bindNewContext", (rest,), timeout=timeout)
+        elif kind == "mkrepl":
+            await self.runtime.invoke(ref, "bindReplContext", (rest, op[2]),
+                                      timeout=timeout)
+        elif kind == "setselector":
+            await self.runtime.invoke(ref, "setSelector", (rest, op[2]),
+                                      timeout=timeout)
+        else:
+            raise NamingError(f"cannot delegate op {kind!r}")
+
+    async def submit_update(self, op: tuple) -> int:
+        if self.role == "master":
+            return self._master_apply(op)
+        if self.master_ip is None:
+            raise NoMaster("no name-service master elected yet")
+        self.updates_forwarded += 1
+        try:
+            seq, applied_op = await self.runtime.invoke(
+                self.peer_replica_ref(self.master_ip), "forwardUpdate", (op,),
+                timeout=self.params.call_timeout)
+        except ServiceUnavailable as err:
+            self._suspect_master()
+            raise NoMaster(f"master {self.master_ip} unreachable: {err}") from err
+        # Apply locally right away so the caller reads its own write; the
+        # master's multicast of the same seq is deduplicated.
+        self._ingest(seq, applied_op)
+        return seq
+
+    def _master_apply(self, op: tuple) -> int:
+        self.store.check(op)
+        seq = self.store.applied_seq + 1
+        self.store.apply_numbered(seq, op)
+        self.updates_applied += 1
+        self._sync_context_exports()
+        self._emit("update", seq=seq, op=op[0], path=op[1])
+        for peer in self.replica_ips:
+            if peer != self.ip:
+                self.runtime.invoke(self.peer_replica_ref(peer), "applyUpdate",
+                                    (seq, op))
+        return seq
+
+    def _ingest(self, seq: int, op: tuple) -> None:
+        try:
+            if self.store.apply_numbered(seq, op):
+                self.updates_applied += 1
+                self._sync_context_exports()
+        except ValueError:
+            self._schedule_state_fetch()
+
+    def _sync_context_exports(self) -> None:
+        """Keep one exported context object per tree context (section 9.2)."""
+        wanted = set(self.store.context_paths())
+        current = set(self._context_servants)
+        for path in wanted - current:
+            servant = ContextServant(self, path)
+            self._context_servants[path] = servant
+            self.runtime.export(servant, self._kind_of(path),
+                                object_id=_context_oid(path))
+        for path in current - wanted:
+            del self._context_servants[path]
+            self.runtime.unexport(_context_oid(path))
+
+    def _kind_of(self, path: str) -> str:
+        node = self.store.get_node(path)
+        return "ReplicatedContext" if node.kind == "replicated" else "NamingContext"
+
+    # ------------------------------------------------------------------
+    # state transfer
+    # ------------------------------------------------------------------
+
+    def _schedule_state_fetch(self) -> None:
+        if self._fetching_state or self.master_ip in (None, self.ip):
+            return
+        self._fetching_state = True
+        self.process.create_task(self._fetch_state(), name="ns-fetch-state")
+
+    async def _fetch_state(self) -> None:
+        try:
+            snap = await self.runtime.invoke(
+                self.peer_replica_ref(self.master_ip), "fetchState", (),
+                timeout=self.params.call_timeout)
+            if snap["seq"] > self.store.applied_seq:
+                self.store.load_snapshot(snap)
+                self._sync_context_exports()
+                self._emit("state_fetched", seq=snap["seq"])
+        except (ServiceUnavailable, CancelledError):
+            pass
+        finally:
+            self._fetching_state = False
+
+    # ------------------------------------------------------------------
+    # election (Echo-style majority voting)
+    # ------------------------------------------------------------------
+
+    def _new_timeout(self) -> float:
+        low, high = self.params.ns_election_timeout
+        return self.rng.uniform(low, high)
+
+    def _suspect_master(self) -> None:
+        """A forward failed: treat it as a missed heartbeat, fast-path."""
+        self.last_heartbeat = min(self.last_heartbeat,
+                                  self.kernel.now - self._election_timeout)
+
+    async def _watchdog(self) -> None:
+        """Slave-side failure detector driving elections."""
+        while True:
+            await self.kernel.sleep(1.0)
+            if self.role == "master":
+                continue
+            if self.kernel.now - self.last_heartbeat >= self._election_timeout:
+                await self._run_election()
+
+    async def _run_election(self) -> None:
+        self.role = "candidate"
+        self.epoch += 1
+        epoch = self.epoch
+        self.voted_for = self.ip
+        self._emit("election_started", epoch=epoch)
+        my_seq = self.store.applied_seq
+        peers = [p for p in self.replica_ips if p != self.ip]
+        calls = [self.runtime.invoke(self.peer_replica_ref(p), "requestVote",
+                                     (epoch, self.ip, my_seq), timeout=2.0)
+                 for p in peers]
+        results = await gather(self.kernel, calls, return_exceptions=True)
+        if self.epoch != epoch or self.role != "candidate":
+            return  # superseded while waiting
+        votes = 1
+        best_seq, best_peer = my_seq, None
+        for peer, res in zip(peers, results):
+            if isinstance(res, BaseException):
+                continue
+            granted, peer_seq = res
+            if granted:
+                votes += 1
+                if peer_seq > best_seq:
+                    best_seq, best_peer = peer_seq, peer
+        if votes >= self.quorum:
+            # Adopt the most up-to-date granter's state before serving.
+            if best_peer is not None:
+                try:
+                    snap = await self.runtime.invoke(
+                        self.peer_replica_ref(best_peer), "fetchState", (),
+                        timeout=2.0)
+                    if snap["seq"] > self.store.applied_seq:
+                        self.store.load_snapshot(snap)
+                        self._sync_context_exports()
+                except ServiceUnavailable:
+                    pass
+            if self.epoch != epoch or self.role != "candidate":
+                return
+            self.role = "master"
+            self.master_ip = self.ip
+            self._emit("master_elected", epoch=epoch, votes=votes)
+            self.process.create_task(self._master_heartbeats(epoch),
+                                     name="ns-heartbeats")
+            self.process.create_task(self._audit_loop(epoch), name="ns-audit")
+        else:
+            self.role = "slave"
+            self.last_heartbeat = self.kernel.now
+            self._election_timeout = self._new_timeout()
+
+    async def _master_heartbeats(self, epoch: int) -> None:
+        """Beacon to slaves, and verify we still command a majority.
+
+        "Availability is improved because the name service is available as
+        long as a majority of replicas are alive" -- the flip side is that
+        a master that can no longer reach a majority (partition, mass
+        failure) must stop serving updates, or a second master elected on
+        the other side would fork the name space.
+        """
+        missed_rounds = 0
+        while self.role == "master" and self.epoch == epoch:
+            peers = [p for p in self.replica_ips if p != self.ip]
+            probes = [self.runtime.invoke(self.peer_replica_ref(p), "heartbeat",
+                                          (epoch, self.ip, self.store.applied_seq),
+                                          timeout=self.params.ns_heartbeat)
+                      for p in peers]
+            reachable = 1  # self
+            results = await gather(self.kernel, probes, return_exceptions=True)
+            if self.role != "master" or self.epoch != epoch:
+                return
+            for res in results:
+                if not isinstance(res, BaseException):
+                    reachable += 1
+            if reachable >= self.quorum:
+                missed_rounds = 0
+            else:
+                missed_rounds += 1
+                if missed_rounds >= 3:
+                    self._emit("lost_quorum", epoch=epoch, reachable=reachable)
+                    self.role = "slave"
+                    self.master_ip = None
+                    self.last_heartbeat = self.kernel.now
+                    self._election_timeout = self._new_timeout()
+                    return
+            await self.kernel.sleep(self.params.ns_heartbeat)
+
+    # -- handlers for replica-to-replica operations ----------------------
+
+    def on_request_vote(self, epoch: int, candidate_ip: str,
+                        candidate_seq: int) -> Tuple[bool, int]:
+        if epoch > self.epoch:
+            self.epoch = epoch
+            self.voted_for = None
+            if self.role == "master":
+                self._step_down(candidate_ip=None)
+        granted = (epoch == self.epoch
+                   and self.voted_for in (None, candidate_ip)
+                   and candidate_seq >= 0)
+        if granted:
+            self.voted_for = candidate_ip
+            self.last_heartbeat = self.kernel.now  # don't start a rival bid
+        return granted, self.store.applied_seq
+
+    def on_heartbeat(self, epoch: int, master_ip: str, seq: int) -> None:
+        if epoch < self.epoch:
+            return
+        if epoch > self.epoch or self.master_ip != master_ip:
+            self.epoch = epoch
+            self.voted_for = None
+            if self.role == "master" and master_ip != self.ip:
+                self._step_down(candidate_ip=master_ip)
+            self.master_ip = master_ip
+            if master_ip != self.ip:
+                self.role = "slave"
+            self._emit("adopted_master", epoch=epoch, master=master_ip)
+        self.last_heartbeat = self.kernel.now
+        if seq > self.store.applied_seq:
+            self._schedule_state_fetch()
+
+    def _step_down(self, candidate_ip: Optional[str]) -> None:
+        self.role = "slave"
+        self.master_ip = candidate_ip
+        self.last_heartbeat = self.kernel.now
+        self._election_timeout = self._new_timeout()
+        self._emit("stepped_down", epoch=self.epoch)
+
+    def on_forward_update(self, op: tuple) -> Tuple[int, tuple]:
+        if self.role != "master":
+            raise NoMaster(f"{self.ip} is not the master")
+        seq = self._master_apply(op)
+        return seq, op
+
+    def status(self) -> dict:
+        return {"ip": self.ip, "role": self.role, "epoch": self.epoch,
+                "master": self.master_ip, "seq": self.store.applied_seq}
+
+    # ------------------------------------------------------------------
+    # auditing (section 4.7): remove dead objects from the name space
+    # ------------------------------------------------------------------
+
+    async def _audit_loop(self, epoch: int) -> None:
+        while self.role == "master" and self.epoch == epoch:
+            await self.kernel.sleep(self.params.ns_audit_poll)
+            if self.role != "master" or self.epoch != epoch:
+                return
+            await self._audit_once()
+
+    async def _audit_once(self) -> None:
+        bindings = [(path, ref) for path, ref in self.store.iter_leaf_bindings()
+                    if ref.incarnation != ANY_INCARNATION]
+        if not bindings:
+            return
+        try:
+            ras_ref = await self.op_resolve(f"svc/ras/{self.ip}", self.ip)
+        except (NamingError, ServiceUnavailable):
+            return  # RAS not registered yet (cluster still booting)
+        refs = [ref for _path, ref in bindings]
+        try:
+            statuses = await self.runtime.invoke(
+                ras_ref, "checkStatus", (refs,),
+                timeout=self.params.ras_call_timeout)
+        except ServiceUnavailable:
+            return
+        for (path, ref), status in zip(bindings, statuses):
+            if status != "dead":
+                continue
+            # Re-check: the service may have re-bound a fresh object
+            # between the poll and now.
+            try:
+                node = self.store.get_node(path)
+            except NamingError:
+                continue
+            if node.kind == "leaf" and node.ref == ref:
+                try:
+                    self._master_apply(("unbind", path))
+                    self.audit_removals += 1
+                    self._emit("audit_removed", path=path)
+                except NamingError:
+                    pass
+
+
+class _ReplicaServant:
+    """Wire adapter for the ``NameReplica`` internal interface."""
+
+    def __init__(self, replica: NameReplicaProcess):
+        self._replica = replica
+
+    async def forwardUpdate(self, ctx: CallContext, op: tuple):
+        return self._replica.on_forward_update(tuple(op))
+
+    async def applyUpdate(self, ctx: CallContext, seq: int, op: tuple):
+        self._replica._ingest(seq, tuple(op))
+
+    async def requestVote(self, ctx: CallContext, epoch: int,
+                          candidate_ip: str, candidate_seq: int):
+        return self._replica.on_request_vote(epoch, candidate_ip, candidate_seq)
+
+    async def heartbeat(self, ctx: CallContext, epoch: int, master_ip: str,
+                        seq: int):
+        self._replica.on_heartbeat(epoch, master_ip, seq)
+
+    async def fetchState(self, ctx: CallContext):
+        return self._replica.store.snapshot()
+
+    async def status(self, ctx: CallContext):
+        return self._replica.status()
+
+
+def start_name_replica(host: Host, network: Network, params: Params,
+                       replica_ips: List[str],
+                       rng: Optional[SeededRandom] = None,
+                       trace: Optional[TraceLog] = None,
+                       parent: Optional[Process] = None) -> NameReplicaProcess:
+    """Spawn the ``ns`` process on ``host`` and return its replica object."""
+    process = host.spawn("ns", parent=parent)
+    runtime = OCSRuntime(process, network, port=params.ns_port)
+    return NameReplicaProcess(process, runtime, params, replica_ips,
+                              rng=rng, trace=trace)

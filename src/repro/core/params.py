@@ -1,0 +1,75 @@
+"""System timing parameters, defaulting to the paper's deployed values.
+
+Section 9.7 names the three parameters that bound primary/backup
+fail-over time and gives their Orlando settings:
+
+    "Backup retries bind every 10 seconds
+     Name service polls RAS every 10 seconds
+     RAS polls other RASs every 5 seconds
+     This gives a maximum fail over time of 25 seconds."
+
+Experiment E2 sweeps these; everything else reads them from one
+:class:`Params` instance owned by the scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+
+@dataclass
+class Params:
+    # -- the section 9.7 fail-over parameters --------------------------
+    backup_bind_retry: float = 10.0   # backup retries bind into name space
+    ns_audit_poll: float = 10.0       # name service polls its local RAS
+    ras_peer_poll: float = 5.0        # RAS polls RAS instances on peers
+
+    # -- name service replication (section 4.6) ------------------------
+    ns_heartbeat: float = 2.0         # master -> slave liveness beacon
+    ns_election_timeout: Tuple[float, float] = (4.0, 8.0)  # randomized
+    ns_port: int = 5000               # well-known bootstrap port
+
+    # -- resource audit -------------------------------------------------
+    ras_call_timeout: float = 2.0     # peer poll RPC deadline
+    ras_client_poll: float = 10.0     # library checkStatus cadence (MMS)
+
+    # -- settop liveness (Settop Manager) --------------------------------
+    settop_heartbeat: float = 5.0
+    settop_dead_after: float = 15.0   # missed heartbeats before "down"
+
+    # -- service control (section 6) -------------------------------------
+    ssc_restart_delay: float = 1.0    # backoff before restarting a service
+    csc_ping_interval: float = 5.0    # CSC pings each SSC
+
+    # -- client library ----------------------------------------------------
+    rebind_backoff: float = 0.0       # 0 = immediate re-resolve (section 8.2)
+    call_timeout: float = 3.0
+
+    # -- media -------------------------------------------------------------
+    movie_bitrate_bps: float = 3_000_000   # MPEG-1/2 era CBR stream
+    stream_chunk_seconds: float = 1.0      # MDS delivery granularity
+    mds_disk_streams: int = 40             # per-server disk stream budget
+
+    # -- resource limits (section 7.3) ---------------------------------------
+    # "A settop client is only allowed to open a certain number of
+    # network connections and audio/video streams.  If the settop
+    # attempts to acquire more resources, either its request is denied or
+    # one of the previously allocated resources is freed."  Both of the
+    # paper's policies are available.
+    max_connections_per_settop: int = 2
+    connection_limit_policy: str = "deny"   # "deny" | "evict"
+    # Resource accounting (section 7.3 names it as needed future work:
+    # "accounting is needed both for discovering buggy clients and for
+    # charging properly for resource usage") -- implemented extension.
+    resource_accounting: bool = True
+
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def max_failover(self) -> float:
+        """The paper's worst-case primary/backup fail-over bound."""
+        return self.backup_bind_retry + self.ns_audit_poll + self.ras_peer_poll
+
+    def with_overrides(self, **kwargs) -> "Params":
+        return replace(self, **kwargs)

@@ -1,0 +1,15 @@
+"""The Resource Audit Service (paper section 7).
+
+"The Resource Audit Service (RAS) is a set of replicas that cooperatively
+track the state of clients."  One replica runs per server; it learns
+about local service objects from SSC callbacks, about settops from the
+Settop Manager, and about remote service objects by polling the RAS on
+the object's server every ``Params.ras_peer_poll`` seconds.  It holds no
+durable state: after a restart it rebuilds lazily from the questions
+clients ask (section 7.2).
+"""
+
+from repro.core.ras.client import AuditClient
+from repro.core.ras.service import ResourceAuditService
+
+__all__ = ["AuditClient", "ResourceAuditService"]

@@ -1,0 +1,254 @@
+"""The rejected resource-recovery designs of paper section 7.1.
+
+The paper considered four mechanisms before choosing the RAS:
+
+1. **duration time-outs** -- "The service that allocates a resource
+   estimates how long it will be needed, and revokes the allocation when
+   that time is exceeded. ... We found that it was too conservative":
+   resources held by crashed clients leak until the generous estimate
+   expires, and long-running healthy clients get cut off.
+2. **short leases** -- "Resources are only granted for short periods of
+   time.  It is up to the client to periodically reallocate. ... We
+   discarded this approach because of concerns about scaling": message
+   load grows with clients x resources / lease interval.
+3. **per-service client tracking** -- every service pings the clients it
+   granted resources to; message load grows with outstanding grants.
+4. **the RAS** -- per-server audit replicas exchanging
+   O(servers^2 / poll) messages regardless of client count.
+
+Experiment E3 instantiates all four against the same synthetic
+allocation workload and counts messages and leaked resource-seconds.
+These classes implement the mechanisms; the benchmark provides the
+workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.kernel import Kernel
+
+
+@dataclass
+class RecoveryStats:
+    """What each mechanism is judged on."""
+
+    messages: int = 0                  # network messages the mechanism cost
+    reclaimed: int = 0                 # resources recovered after failures
+    false_revocations: int = 0         # healthy clients cut off
+    leak_seconds: float = 0.0          # sum over resources of (reclaim - death)
+    outstanding: int = 0
+
+    def summary(self) -> dict:
+        return {"messages": self.messages, "reclaimed": self.reclaimed,
+                "false_revocations": self.false_revocations,
+                "leak_seconds": round(self.leak_seconds, 1),
+                "outstanding": self.outstanding}
+
+
+@dataclass
+class _Grant:
+    client: str
+    resource: str
+    granted_at: float
+    died_at: Optional[float] = None    # set by the workload on client crash
+    lease_expires: float = 0.0
+    estimated_duration: float = 0.0
+
+
+class RecoveryMechanism:
+    """Common bookkeeping: grants, client death, reclamation accounting."""
+
+    name = "abstract"
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.stats = RecoveryStats()
+        self._grants: Dict[str, _Grant] = {}
+        self._live_clients: Dict[str, bool] = {}
+
+    # -- workload-facing API -----------------------------------------------
+
+    def grant(self, client: str, resource: str, estimated_duration: float) -> None:
+        self._live_clients[client] = True
+        self._grants[resource] = _Grant(
+            client=client, resource=resource, granted_at=self.kernel.now,
+            estimated_duration=estimated_duration)
+        self.stats.outstanding += 1
+
+    def release(self, resource: str) -> None:
+        """Healthy client explicitly releases (the common case)."""
+        if self._grants.pop(resource, None) is not None:
+            self.stats.outstanding -= 1
+
+    def client_crashed(self, client: str) -> None:
+        self._live_clients[client] = False
+        for grant in self._grants.values():
+            if grant.client == client and grant.died_at is None:
+                grant.died_at = self.kernel.now
+
+    def client_alive(self, client: str) -> bool:
+        return self._live_clients.get(client, False)
+
+    def _reclaim(self, resource: str, *, forced_on_live_client: bool) -> None:
+        grant = self._grants.pop(resource, None)
+        if grant is None:
+            return
+        self.stats.outstanding -= 1
+        if forced_on_live_client and grant.died_at is None:
+            self.stats.false_revocations += 1
+            return
+        self.stats.reclaimed += 1
+        if grant.died_at is not None:
+            self.stats.leak_seconds += self.kernel.now - grant.died_at
+
+    def run(self, until: float) -> None:
+        """Drive the mechanism's periodic behaviour up to ``until``."""
+        raise NotImplementedError
+
+    def grants_of(self, client: str) -> List[str]:
+        return [r for r, g in self._grants.items() if g.client == client]
+
+
+class DurationTimeout(RecoveryMechanism):
+    """Alternative 1: revoke when the estimated duration expires."""
+
+    name = "duration-timeout"
+
+    def __init__(self, kernel: Kernel, slack: float = 2.0):
+        super().__init__(kernel)
+        # "giving the client ample time" -- revoke at slack x estimate.
+        self.slack = slack
+
+    def run(self, until: float) -> None:
+        # No messages at all -- the cost is leakage and false revocations.
+        for resource, grant in list(self._grants.items()):
+            deadline = grant.granted_at + grant.estimated_duration * self.slack
+            if deadline <= until:
+                self._reclaim(resource,
+                              forced_on_live_client=grant.died_at is None)
+
+
+class ShortLease(RecoveryMechanism):
+    """Alternative 2: clients renew every ``lease`` seconds or lose it."""
+
+    name = "short-lease"
+
+    def __init__(self, kernel: Kernel, lease: float = 10.0):
+        super().__init__(kernel)
+        self.lease = lease
+        self._last_renewal: Dict[str, float] = {}
+
+    def grant(self, client: str, resource: str, estimated_duration: float) -> None:
+        super().grant(client, resource, estimated_duration)
+        self._last_renewal[resource] = self.kernel.now
+        self.stats.messages += 1  # the grant request itself
+
+    def run(self, until: float) -> None:
+        now = self.kernel.now
+        for resource, grant in list(self._grants.items()):
+            # Live clients renew on schedule; each renewal is a message
+            # (plus its reply).
+            last = self._last_renewal.get(resource, grant.granted_at)
+            while last + self.lease <= until:
+                last += self.lease
+                if grant.died_at is not None and grant.died_at <= last:
+                    self._reclaim(resource, forced_on_live_client=False)
+                    break
+                self.stats.messages += 2  # renewal request + ack
+            else:
+                self._last_renewal[resource] = last
+                continue
+
+
+class PerServiceTracking(RecoveryMechanism):
+    """Alternative 3: each granting service pings its clients directly."""
+
+    name = "per-service-tracking"
+
+    def __init__(self, kernel: Kernel, ping_interval: float = 5.0,
+                 services: int = 1):
+        super().__init__(kernel)
+        self.ping_interval = ping_interval
+        # Several services each track their own clients independently;
+        # the same client gets pinged once per service that granted to it.
+        self.services = services
+        self._next_ping = 0.0
+
+    def run(self, until: float) -> None:
+        while self._next_ping <= until:
+            now = self._next_ping
+            # One ping (+reply from live clients) per client per service
+            # with outstanding grants.
+            clients = {g.client for g in self._grants.values()}
+            for client in clients:
+                self.stats.messages += 1  # ping
+                if self.client_alive(client):
+                    self.stats.messages += 1  # pong
+                else:
+                    for resource in self.grants_of(client):
+                        grant = self._grants[resource]
+                        if grant.died_at is not None and grant.died_at <= now:
+                            self._reclaim(resource, forced_on_live_client=False)
+            self._next_ping += self.ping_interval
+
+
+class RASStyle(RecoveryMechanism):
+    """Alternative 4 (chosen): per-server RAS replicas poll each other.
+
+    Message cost is the peer-poll mesh -- independent of how many clients
+    or resources exist -- plus one local checkStatus per granting service
+    per poll (local, but counted as a message for comparability with the
+    paper's "services contact the RAS on their local machine").
+    """
+
+    name = "ras"
+
+    def __init__(self, kernel: Kernel, servers: int = 3,
+                 peer_poll: float = 5.0, client_poll: float = 10.0,
+                 granting_services: int = 1):
+        super().__init__(kernel)
+        self.servers = servers
+        self.peer_poll = peer_poll
+        self.client_poll = client_poll
+        self.granting_services = granting_services
+        self._next_peer = 0.0
+        self._next_client = 0.0
+        # Detection pipeline: a death is visible to the granting service
+        # only after a peer poll AND the service's own checkStatus poll.
+        self._detected: Dict[str, float] = {}
+
+    def run(self, until: float) -> None:
+        while min(self._next_peer, self._next_client) <= until:
+            if self._next_peer <= self._next_client:
+                now = self._next_peer
+                # Full mesh: each server polls every other server's RAS
+                # (request + reply).
+                self.stats.messages += self.servers * (self.servers - 1) * 2
+                for client, alive in self._live_clients.items():
+                    if not alive and client not in self._detected:
+                        self._detected[client] = now
+                self._next_peer += self.peer_poll
+            else:
+                now = self._next_client
+                # Each granting service asks its local RAS (loopback).
+                self.stats.messages += self.granting_services
+                for resource in list(self._grants):
+                    grant = self._grants[resource]
+                    detected = self._detected.get(grant.client)
+                    if detected is not None and detected <= now:
+                        self._reclaim(resource, forced_on_live_client=False)
+                self._next_client += self.client_poll
+
+
+def make_all(kernel: Kernel, servers: int = 3,
+             granting_services: int = 1) -> List[RecoveryMechanism]:
+    """The section 7.1 line-up, with the paper's parameter choices."""
+    return [
+        DurationTimeout(kernel),
+        ShortLease(kernel),
+        PerServiceTracking(kernel, services=granting_services),
+        RASStyle(kernel, servers=servers,
+                 granting_services=granting_services),
+    ]

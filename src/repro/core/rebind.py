@@ -1,0 +1,107 @@
+"""Automatic client rebinding (paper section 8.2).
+
+"When the client attempts to invoke an object from a failed service, the
+object communication system raises an exception.  At this point, library
+code in the client automatically returns to the name service to obtain
+another object reference for the service."
+
+The proxy also implements the paper's recovery-storm mitigation: "If
+performance difficulties arise, we can modify the library routine to
+back off when repeating requests for a new service object" -- enabled by
+setting ``Params.rebind_backoff`` (experiment E6 measures both modes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.naming.client import NameClient
+from repro.core.naming.errors import NamingError
+from repro.core.params import Params
+from repro.ocs.exceptions import ServiceUnavailable
+from repro.ocs.objref import ObjectRef
+from repro.ocs.runtime import OCSRuntime
+from repro.sim.rand import SeededRandom
+
+
+class RebindError(ServiceUnavailable):
+    """The service stayed unavailable past the caller's deadline."""
+
+
+class RebindingProxy:
+    """A service handle that survives replica failure and relocation.
+
+    The first call resolves the service name; later calls reuse the
+    cached reference ("The AM only contacts the name service for a
+    reference to the RDS the first time", section 3.4.2).  On
+    :class:`ServiceUnavailable` the reference is dropped and re-resolved,
+    transparently to the caller.
+    """
+
+    def __init__(self, runtime: OCSRuntime, names: NameClient, name: str,
+                 params: Optional[Params] = None,
+                 rng: Optional[SeededRandom] = None,
+                 give_up_after: float = 60.0):
+        self._runtime = runtime
+        self._names = names
+        self._name = name
+        self._params = params or names.params
+        self._rng = rng or SeededRandom(0)
+        self._give_up_after = give_up_after
+        self._ref: Optional[ObjectRef] = None
+        self.rebinds = 0
+        self.resolve_calls = 0
+
+    @property
+    def ref(self) -> Optional[ObjectRef]:
+        return self._ref
+
+    def invalidate(self) -> None:
+        """Drop the cached reference (e.g. after a data-path stall)."""
+        self._ref = None
+
+    async def call(self, method: str, *args: Any,
+                   timeout: Optional[float] = None) -> Any:
+        kernel = self._runtime.kernel
+        deadline = kernel.now + self._give_up_after
+        call_timeout = timeout or self._params.call_timeout
+        backoff = self._params.rebind_backoff
+        last_error: Optional[Exception] = None
+        while kernel.now < deadline:
+            if self._ref is None:
+                try:
+                    self.resolve_calls += 1
+                    self._ref = await self._names.resolve(self._name)
+                except (NamingError, ServiceUnavailable) as err:
+                    # Not bound (yet/anymore): a replica will rebind soon.
+                    last_error = err
+                    await kernel.sleep(self._retry_delay(backoff))
+                    continue
+            try:
+                return await self._runtime.invoke(self._ref, method, args,
+                                                  timeout=call_timeout)
+            except ServiceUnavailable as err:
+                # The reference went stale: rebind through the name service.
+                last_error = err
+                self._ref = None
+                self.rebinds += 1
+                if backoff > 0:
+                    await kernel.sleep(self._retry_delay(backoff))
+        raise RebindError(
+            f"{self._name} unavailable for {self._give_up_after}s: {last_error}")
+
+    def _retry_delay(self, backoff: float) -> float:
+        if backoff <= 0:
+            return 0.5  # bare re-resolve pacing; the storm case
+        # Jittered backoff spreads the re-resolve herd (section 8.2).
+        return self._rng.uniform(backoff * 0.5, backoff * 1.5)
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+
+        async def call(*args: Any, timeout: Optional[float] = None):
+            return await self.call(name, *args, timeout=timeout)
+
+        call.__name__ = name
+        return call

@@ -1,0 +1,98 @@
+"""Replication styles built on the name service (paper section 5).
+
+Active replicas (section 5.1) need no machinery beyond
+``Service.bind_as_replica``: every replica binds into a replicated
+context and selectors route clients.
+
+Primary/backup (section 5.2) is this module: "When the replicas begin
+execution, they try to bind themselves in the global name space under
+the service name.  The first one to succeed becomes the primary.  The
+others periodically retry the binding request, which will fail so long
+as the primary is alive.  If the primary fails, its binding will be
+removed from the name service [by the audit].  Subsequently one of the
+backup replicas' bind requests will succeed."
+"""
+
+from __future__ import annotations
+
+from typing import Awaitable, Callable, Optional
+
+from repro.core.naming.errors import AlreadyBound, NamingError
+from repro.ocs.exceptions import ServiceUnavailable
+from repro.ocs.objref import ObjectRef
+
+PromoteHook = Callable[[], Optional[Awaitable[None]]]
+
+
+class PrimaryBackupBinder:
+    """Runs the bind-retry race for one service replica.
+
+    Create it in a service's ``start``, then ``service.spawn_task(
+    binder.run())``.  ``on_promote`` fires when this replica wins the
+    binding (it should recover state -- from the database or from peers --
+    before serving, section 9.4); ``on_demote`` fires if the replica later
+    discovers its binding gone while still alive (operator moved the
+    service, or a spurious audit removal).
+    """
+
+    def __init__(self, service, name: str, ref: ObjectRef,
+                 on_promote: Optional[PromoteHook] = None,
+                 on_demote: Optional[PromoteHook] = None):
+        self.service = service
+        self.name = name
+        self.ref = ref
+        self.on_promote = on_promote
+        self.on_demote = on_demote
+        self.role = "backup"
+        self.promotions = 0
+        self.bind_attempts = 0
+
+    async def run(self) -> None:
+        params = self.service.params
+        kernel = self.service.kernel
+        # First attempt happens immediately: at a clean cold start the
+        # first replica to start becomes primary without waiting a cycle.
+        while True:
+            if self.role == "backup":
+                await self._try_bind()
+            else:
+                await self._verify_primary()
+            await kernel.sleep(params.backup_bind_retry)
+
+    async def _try_bind(self) -> None:
+        self.bind_attempts += 1
+        try:
+            parent = self._parent_of(self.name)
+            if parent:
+                await self.service.names.ensure_context(parent)
+            await self.service.names.bind(self.name, self.ref)
+        except AlreadyBound:
+            return  # the primary is alive; stay backup
+        except (NamingError, ServiceUnavailable):
+            return  # name service unavailable; retry next interval
+        self.role = "primary"
+        self.promotions += 1
+        self.service.emit("promoted", name=self.name)
+        if self.on_promote is not None:
+            result = self.on_promote()
+            if result is not None:
+                await result
+
+    async def _verify_primary(self) -> None:
+        """Confirm our binding still stands; demote if it was removed."""
+        try:
+            current = await self.service.names.resolve(self.name)
+        except (NamingError, ServiceUnavailable):
+            return  # can't tell right now; check again next interval
+        if current == self.ref:
+            return
+        self.role = "backup"
+        self.service.emit("demoted", name=self.name)
+        if self.on_demote is not None:
+            result = self.on_demote()
+            if result is not None:
+                await result
+
+    @staticmethod
+    def _parent_of(name: str) -> str:
+        return name.rsplit("/", 1)[0] if "/" in name else ""

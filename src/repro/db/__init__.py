@@ -1,0 +1,5 @@
+"""Database service: "access to persistent data via exported IDL interfaces"."""
+
+from repro.db.service import DatabaseService, DatabaseClient
+
+__all__ = ["DatabaseClient", "DatabaseService"]

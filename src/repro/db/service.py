@@ -1,0 +1,154 @@
+"""The database service (paper Figure 2: "Database").
+
+Stores tables on the server's disk, so data survives process crashes and
+host reboots.  One replica runs per configured server; the primary (by
+bind race on ``svc/db``) serves writes and pushes each write to the other
+replicas' disks, so a promoted backup serves the same data.  This is the
+"slow-changing state read from the database" that most services use to
+recover after a failure (section 9.4) -- e.g. the CSC's service placement
+(section 6.2).
+
+Reads can go to any replica through ``svc/db-all/<server-ip>``; the
+common path resolves ``svc/db`` (the primary).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.naming.errors import NamingError
+from repro.core.replication import PrimaryBackupBinder
+from repro.idl import register_exception, register_interface
+from repro.ocs.exceptions import ServiceUnavailable
+from repro.ocs.runtime import CallContext
+from repro.services.base import Service
+
+register_interface("Database", {
+    "get": ("table", "key"),
+    "put": ("table", "key", "value"),
+    "delete": ("table", "key"),
+    "scan": ("table",),
+    "tables": (),
+    # internal: primary -> backup write propagation
+    "applyWrite": ("table", "key", "value", "deleted"),
+}, doc="Persistent tables (Figure 2)")
+
+
+@register_exception
+class NoSuchKey(Exception):
+    """get() on a key that is not in the table."""
+
+
+_DISK_PREFIX = "db/"
+
+
+def seed_database(disk, table: str, rows: Dict[str, Any]) -> None:
+    """Pre-load a table onto a server disk (cluster construction time)."""
+    existing = disk.read(_DISK_PREFIX + table, {})
+    existing.update(rows)
+    disk.write(_DISK_PREFIX + table, existing)
+
+
+class DatabaseService(Service):
+    service_name = "db"
+
+    async def start(self) -> None:
+        self.ref = self.runtime.export(_DatabaseServant(self), "Database")
+        await self.register_objects([self.ref])
+        await self.bind_as_replica("db-all", self.host.ip, self.ref,
+                                   selector="sameserver")
+        self.binder = PrimaryBackupBinder(self, "svc/db", self.ref)
+        self.spawn_task(self.binder.run(), name="db-binder")
+
+    # -- storage on the host disk --------------------------------------
+
+    def _table(self, table: str) -> Dict[str, Any]:
+        return self.host.disk.read(_DISK_PREFIX + table, {})
+
+    def _write_table(self, table: str, rows: Dict[str, Any]) -> None:
+        self.host.disk.write(_DISK_PREFIX + table, rows)
+
+    def get(self, table: str, key: str) -> Any:
+        rows = self._table(table)
+        if key not in rows:
+            raise NoSuchKey(f"{table}/{key}")
+        return rows[key]
+
+    def apply_write(self, table: str, key: str, value: Any,
+                    deleted: bool) -> None:
+        rows = self._table(table)
+        if deleted:
+            rows.pop(key, None)
+        else:
+            rows[key] = value
+        self._write_table(table, rows)
+
+    async def replicate_write(self, table: str, key: str, value: Any,
+                              deleted: bool) -> None:
+        """Push a write to every other db replica (hot-standby style)."""
+        try:
+            peers = await self.names.list_repl("svc/db-all")
+        except (NamingError, ServiceUnavailable):
+            return
+        for member, _kind, ref in peers:
+            if ref is None or ref.ip == self.host.ip:
+                continue
+            try:
+                await self.runtime.invoke(ref, "applyWrite",
+                                          (table, key, value, deleted),
+                                          timeout=self.params.call_timeout)
+            except ServiceUnavailable:
+                continue  # a dead replica reloads from its disk + pushes
+
+
+class _DatabaseServant:
+    def __init__(self, svc: DatabaseService):
+        self._svc = svc
+
+    async def get(self, ctx: CallContext, table: str, key: str):
+        return self._svc.get(table, key)
+
+    async def put(self, ctx: CallContext, table: str, key: str, value: Any):
+        self._svc.apply_write(table, key, value, deleted=False)
+        await self._svc.replicate_write(table, key, value, deleted=False)
+
+    async def delete(self, ctx: CallContext, table: str, key: str):
+        self._svc.apply_write(table, key, None, deleted=True)
+        await self._svc.replicate_write(table, key, None, deleted=True)
+
+    async def scan(self, ctx: CallContext, table: str):
+        return dict(self._svc._table(table))
+
+    async def tables(self, ctx: CallContext):
+        prefix = _DISK_PREFIX
+        return sorted(k[len(prefix):] for k in self._svc.host.disk.keys()
+                      if k.startswith(prefix))
+
+    async def applyWrite(self, ctx: CallContext, table: str, key: str,
+                         value: Any, deleted: bool):
+        self._svc.apply_write(table, key, value, deleted)
+
+
+class DatabaseClient:
+    """Typed client helper over the primary db binding."""
+
+    def __init__(self, proxy):
+        self._proxy = proxy  # a RebindingProxy for "svc/db"
+
+    async def get(self, table: str, key: str) -> Any:
+        return await self._proxy.call("get", table, key)
+
+    async def get_or(self, table: str, key: str, default: Any = None) -> Any:
+        try:
+            return await self._proxy.call("get", table, key)
+        except NoSuchKey:
+            return default
+
+    async def put(self, table: str, key: str, value: Any) -> None:
+        await self._proxy.call("put", table, key, value)
+
+    async def delete(self, table: str, key: str) -> None:
+        await self._proxy.call("delete", table, key)
+
+    async def scan(self, table: str) -> Dict[str, Any]:
+        return await self._proxy.call("scan", table)

@@ -1,0 +1,21 @@
+"""IDL-level errors: bad declarations, unknown methods, bad signatures."""
+
+
+class IDLError(Exception):
+    """Base class for interface-definition errors."""
+
+
+class UnknownInterface(IDLError):
+    """A type id was used that no interface definition registered."""
+
+
+class NoSuchMethod(IDLError):
+    """A call named an operation the interface does not define."""
+
+
+class SignatureError(IDLError):
+    """A call's argument count does not match the operation's parameters."""
+
+
+class DuplicateInterface(IDLError):
+    """Two interface definitions registered the same type id."""

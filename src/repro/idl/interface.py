@@ -1,0 +1,126 @@
+"""Interface definitions: the Python stand-in for IDL files.
+
+An :class:`InterfaceDef` declares a named object type with typed
+operations and an optional base interface (single inheritance, like IDL).
+Definitions register globally by type id so an :class:`~repro.ocs.objref.ObjectRef`
+arriving over the wire can be turned back into a typed stub -- the
+"object type identifier, used to determine the object's type at runtime"
+of paper section 3.2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.idl.errors import (
+    DuplicateInterface,
+    NoSuchMethod,
+    SignatureError,
+    UnknownInterface,
+)
+
+
+@dataclass(frozen=True)
+class MethodDef:
+    """One operation in an interface.
+
+    ``params`` are parameter names (checked by count at call time);
+    ``oneway`` operations expect no reply (used for notifications);
+    ``doc`` mirrors the comment block an IDL file would carry.
+    """
+
+    name: str
+    params: Tuple[str, ...] = ()
+    oneway: bool = False
+    doc: str = ""
+
+    def check_args(self, args: tuple) -> None:
+        if len(args) != len(self.params):
+            raise SignatureError(
+                f"{self.name}() takes {len(self.params)} argument(s) "
+                f"({', '.join(self.params)}), got {len(args)}")
+
+
+@dataclass
+class InterfaceDef:
+    """A named object type: the unit the IDL compiler consumed."""
+
+    name: str
+    methods: Dict[str, MethodDef] = field(default_factory=dict)
+    base: Optional["InterfaceDef"] = None
+    doc: str = ""
+
+    def method(self, name: str) -> MethodDef:
+        """Look up an operation, searching base interfaces."""
+        iface: Optional[InterfaceDef] = self
+        while iface is not None:
+            if name in iface.methods:
+                return iface.methods[name]
+            iface = iface.base
+        raise NoSuchMethod(f"interface {self.name} has no operation {name!r}")
+
+    def has_method(self, name: str) -> bool:
+        try:
+            self.method(name)
+            return True
+        except NoSuchMethod:
+            return False
+
+    def all_methods(self) -> Dict[str, MethodDef]:
+        """Operations including inherited ones (derived-most wins)."""
+        chain = []
+        iface: Optional[InterfaceDef] = self
+        while iface is not None:
+            chain.append(iface)
+            iface = iface.base
+        merged: Dict[str, MethodDef] = {}
+        for iface in reversed(chain):
+            merged.update(iface.methods)
+        return merged
+
+    def is_a(self, type_name: str) -> bool:
+        """Subtype check: does this interface derive from ``type_name``?"""
+        iface: Optional[InterfaceDef] = self
+        while iface is not None:
+            if iface.name == type_name:
+                return True
+            iface = iface.base
+        return False
+
+
+interface_registry: Dict[str, InterfaceDef] = {}
+
+
+def register_interface(name: str, methods: Dict[str, Tuple],
+                       base: Optional[str] = None, doc: str = "") -> InterfaceDef:
+    """Declare and register an interface.
+
+    ``methods`` maps operation name to a tuple of parameter names (or to a
+    :class:`MethodDef` for oneway/documented operations).  Re-registering
+    the same name with identical content is idempotent so test modules can
+    import service modules repeatedly.
+    """
+    base_def = lookup_interface(base) if base is not None else None
+    method_defs: Dict[str, MethodDef] = {}
+    for mname, spec in methods.items():
+        if isinstance(spec, MethodDef):
+            method_defs[mname] = spec
+        else:
+            method_defs[mname] = MethodDef(name=mname, params=tuple(spec))
+    iface = InterfaceDef(name=name, methods=method_defs, base=base_def, doc=doc)
+    existing = interface_registry.get(name)
+    if existing is not None:
+        if (existing.methods == iface.methods
+                and (existing.base.name if existing.base else None)
+                == (base_def.name if base_def else None)):
+            return existing
+        raise DuplicateInterface(f"conflicting redefinition of interface {name}")
+    interface_registry[name] = iface
+    return iface
+
+
+def lookup_interface(name: str) -> InterfaceDef:
+    if name not in interface_registry:
+        raise UnknownInterface(f"no interface registered as {name!r}")
+    return interface_registry[name]

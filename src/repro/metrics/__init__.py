@@ -1,0 +1,7 @@
+"""Measurement helpers shared by tests, examples, and benchmarks."""
+
+from repro.metrics.latency import LatencyRecorder, percentile, summarize
+from repro.metrics.availability import AvailabilityTimeline
+
+__all__ = ["AvailabilityTimeline", "LatencyRecorder", "percentile",
+           "summarize"]

@@ -1,0 +1,76 @@
+"""Availability accounting: up/down intervals for a named capability.
+
+Used by experiment E5 to turn event streams ("stream stalled at t",
+"stream recovered at t'") into the paper's qualitative claim made
+quantitative: failures are "covered with only a very brief interruption"
+(section 9.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class AvailabilityTimeline:
+    """Tracks one capability's up/down transitions over simulated time."""
+
+    def __init__(self, kernel, initially_up: bool = True):
+        self.kernel = kernel
+        self._events: List[Tuple[float, bool]] = [(kernel.now, initially_up)]
+
+    def mark_down(self) -> None:
+        self._transition(False)
+
+    def mark_up(self) -> None:
+        self._transition(True)
+
+    def _transition(self, up: bool) -> None:
+        if self._events and self._events[-1][1] == up:
+            return
+        self._events.append((self.kernel.now, up))
+
+    @property
+    def is_up(self) -> bool:
+        return self._events[-1][1]
+
+    def outages(self, until: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Closed (start, duration) outage intervals up to ``until``."""
+        end_time = until if until is not None else self.kernel.now
+        out = []
+        down_since: Optional[float] = None
+        for t, up in self._events:
+            if not up and down_since is None:
+                down_since = t
+            elif up and down_since is not None:
+                out.append((down_since, t - down_since))
+                down_since = None
+        if down_since is not None and end_time > down_since:
+            out.append((down_since, end_time - down_since))
+        return out
+
+    def downtime(self, until: Optional[float] = None) -> float:
+        return sum(d for _t, d in self.outages(until))
+
+    def availability(self, since: float = 0.0,
+                     until: Optional[float] = None) -> float:
+        """Fraction of [since, until] the capability was up."""
+        end_time = until if until is not None else self.kernel.now
+        span = end_time - since
+        if span <= 0:
+            return 1.0
+        down = 0.0
+        for start, duration in self.outages(end_time):
+            lo = max(start, since)
+            hi = min(start + duration, end_time)
+            if hi > lo:
+                down += hi - lo
+        return 1.0 - down / span
+
+    def summary(self) -> Dict[str, float]:
+        outs = self.outages()
+        return {
+            "outages": len(outs),
+            "downtime": round(self.downtime(), 3),
+            "availability": round(self.availability(), 6),
+            "longest_outage": round(max((d for _s, d in outs), default=0.0), 3),
+        }

@@ -1,0 +1,67 @@
+"""Message accounting over a simulated network.
+
+Wraps :class:`repro.net.network.Network`'s per-kind counters with the
+groupings experiments care about: control-plane vs data-plane, RAS
+traffic (E3/E9), and name-service traffic (E6/E7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.network import Network
+
+#: kind prefix -> reporting group
+GROUPS = {
+    "rpc.call.RAS.": "ras",
+    "rpc.call.NameReplica.": "ns-replication",
+    "rpc.call.NamingContext.": "ns-lookup",
+    "rpc.call.ReplicatedContext.": "ns-lookup",
+    "rpc.call.SettopManager.": "settop-liveness",
+    "rpc.call.ServiceController.": "control",
+    "rpc.call.ClusterController.": "control",
+    "mds.stream": "media-data",
+    "boot.": "broadcast",
+    "rpc.reply": "replies",
+}
+
+
+class MessageCensus:
+    """Snapshot/delta view over the network's message counters."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self._baseline: Dict[str, int] = {}
+        self.snapshot()
+
+    def snapshot(self) -> None:
+        self._baseline = dict(self.network.sent_by_kind)
+
+    def delta(self) -> Dict[str, int]:
+        """Messages by kind since the last snapshot."""
+        out = {}
+        for kind, count in self.network.sent_by_kind.items():
+            diff = count - self._baseline.get(kind, 0)
+            if diff:
+                out[kind] = diff
+        return out
+
+    def by_group(self) -> Dict[str, int]:
+        grouped: Dict[str, int] = {}
+        for kind, count in self.delta().items():
+            group = "other"
+            for prefix, name in GROUPS.items():
+                if kind.startswith(prefix):
+                    group = name
+                    break
+            grouped[group] = grouped.get(group, 0) + count
+        return grouped
+
+    def total(self) -> int:
+        return sum(self.delta().values())
+
+    def rate_per_second(self, duration: float) -> Dict[str, float]:
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return {group: count / duration
+                for group, count in self.by_group().items()}

@@ -1,0 +1,64 @@
+"""Latency accounting: distributions of simulated-time durations."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile; p in [0, 100]."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    if p <= 0:
+        return ordered[0]
+    if p >= 100:
+        return ordered[-1]
+    rank = max(1, round(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    if not samples:
+        return {"count": 0}
+    return {
+        "count": len(samples),
+        "mean": sum(samples) / len(samples),
+        "min": min(samples),
+        "p50": percentile(samples, 50),
+        "p90": percentile(samples, 90),
+        "p99": percentile(samples, 99),
+        "max": max(samples),
+    }
+
+
+class LatencyRecorder:
+    """Start/stop timers keyed by operation name, on the virtual clock."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self._samples: Dict[str, List[float]] = {}
+        self._open: Dict[tuple, float] = {}
+
+    def start(self, op: str, token=None) -> None:
+        self._open[(op, token)] = self.kernel.now
+
+    def stop(self, op: str, token=None) -> float:
+        started = self._open.pop((op, token), None)
+        if started is None:
+            raise KeyError(f"no open timer for {op!r}/{token!r}")
+        elapsed = self.kernel.now - started
+        self.record(op, elapsed)
+        return elapsed
+
+    def record(self, op: str, value: float) -> None:
+        self._samples.setdefault(op, []).append(value)
+
+    def samples(self, op: str) -> List[float]:
+        return list(self._samples.get(op, []))
+
+    def summary(self, op: str) -> Dict[str, float]:
+        return summarize(self._samples.get(op, []))
+
+    def operations(self) -> List[str]:
+        return sorted(self._samples)

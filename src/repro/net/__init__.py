@@ -1,0 +1,32 @@
+"""Simulated network: ATM settop links, FDDI server ring, neighbourhoods.
+
+Reproduces the paper's network configuration (section 3.1, Figure 1):
+multiprocessor servers on an FDDI ring, settops reached over ATM with
+asymmetric per-settop bandwidth caps (50 kbit/s upstream, 6 Mbit/s
+downstream), and settops partitioned into *neighbourhoods* keyed by their
+IP address -- the unit of service replication and fail-over.
+"""
+
+from repro.net.address import (
+    DEFAULT_DOWNSTREAM_BPS,
+    DEFAULT_UPSTREAM_BPS,
+    neighborhood_of,
+    server_ip,
+    settop_ip,
+)
+from repro.net.link import Link, ReservationError
+from repro.net.message import Message
+from repro.net.network import Network, PortUnreachable
+
+__all__ = [
+    "DEFAULT_DOWNSTREAM_BPS",
+    "DEFAULT_UPSTREAM_BPS",
+    "Link",
+    "Message",
+    "Network",
+    "PortUnreachable",
+    "ReservationError",
+    "neighborhood_of",
+    "server_ip",
+    "settop_ip",
+]

@@ -1,0 +1,67 @@
+"""IP addressing and neighbourhood assignment.
+
+The paper (section 3.1): "we partition the settops into neighborhoods.
+The neighborhood is determined by the settop's IP address."  We encode the
+neighbourhood in the third octet of settop addresses, so the neighbourhood
+selector (section 5.1) can recover it from a caller's address exactly as
+the deployed system did.
+
+Address plan:
+
+- servers:  ``192.26.65.<n>``   (the paper's Figure 8 shows 192.26.65.82/83)
+- settops:  ``10.<cluster>.<neighborhood>.<unit>``
+"""
+
+from __future__ import annotations
+
+# Paper section 3.1: per-settop ATM bandwidth caps for the Orlando
+# deployment.
+DEFAULT_UPSTREAM_BPS = 50_000          # 50 kbit/s settop -> server
+DEFAULT_DOWNSTREAM_BPS = 6_000_000     # 6 Mbit/s server -> settop
+
+# Paper section 9.3: effective application-download bandwidth observed in
+# the deployed system ("notably a download bandwidth of 1 MByte per
+# second").
+APP_DOWNLOAD_BPS = 8_000_000           # 1 MByte/s
+
+SERVER_PREFIX = "192.26.65."
+SETTOP_PREFIX = "10."
+
+
+def server_ip(index: int) -> str:
+    """Address of the ``index``-th server machine (0-based)."""
+    if index < 0 or index > 253:
+        raise ValueError(f"server index out of range: {index}")
+    return f"{SERVER_PREFIX}{index + 1}"
+
+
+def settop_ip(neighborhood: int, unit: int, cluster: int = 0) -> str:
+    """Address of a settop in the given neighbourhood."""
+    if neighborhood < 0 or neighborhood > 255:
+        raise ValueError(f"neighborhood out of range: {neighborhood}")
+    if unit < 0 or unit > 253:
+        raise ValueError(f"unit out of range: {unit}")
+    return f"{SETTOP_PREFIX}{cluster}.{neighborhood}.{unit + 1}"
+
+
+def is_server_ip(ip: str) -> bool:
+    return ip.startswith(SERVER_PREFIX)
+
+
+def is_settop_ip(ip: str) -> bool:
+    return ip.startswith(SETTOP_PREFIX)
+
+
+def neighborhood_of(ip: str) -> int:
+    """Recover the neighbourhood number from a settop IP address.
+
+    Raises :class:`ValueError` for non-settop addresses: the deployed
+    system never routed a neighbourhood-replicated service to a server's
+    own address this way.
+    """
+    if not is_settop_ip(ip):
+        raise ValueError(f"not a settop address: {ip}")
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed address: {ip}")
+    return int(parts[2])

@@ -1,0 +1,44 @@
+"""Network datagrams exchanged between OCS transports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+# Fixed per-message overhead: headers, authentication signature, marshaled
+# call frame.  Calls are signed by default (paper section 3.3), so every
+# message carries the signature cost.
+HEADER_BYTES = 256
+
+_msg_counter = [0]
+
+
+def _next_msg_id() -> int:
+    _msg_counter[0] += 1
+    return _msg_counter[0]
+
+
+@dataclass
+class Message:
+    """One datagram: source/destination endpoints plus an opaque payload.
+
+    ``size_bytes`` drives link serialization delay; the payload itself is
+    passed by reference (the simulation does not literally serialize
+    Python objects, it charges for the bytes they would occupy).
+    """
+
+    src: Tuple[str, int]
+    dst: Tuple[str, int]
+    kind: str
+    payload: Any = None
+    payload_bytes: int = 0
+    msg_id: int = field(default_factory=_next_msg_id)
+
+    @property
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + self.payload_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Message #{self.msg_id} {self.kind} "
+                f"{self.src[0]}:{self.src[1]} -> {self.dst[0]}:{self.dst[1]} "
+                f"{self.size_bytes}B>")

@@ -1,0 +1,307 @@
+"""The network fabric: attachment, routing, delivery, partitions.
+
+Delivery semantics chosen to match what the paper's clients observe:
+
+- destination host down or partitioned away -> the datagram is silently
+  dropped and the sender must rely on its call timeout (like UDP/ATM);
+- destination host up but no process bound to the port -> the network
+  returns an immediate ``port_unreachable`` notification (like a TCP RST),
+  which is how "the client will detect this on the next attempt to use the
+  object reference" (section 3.2.1) without waiting out a long timeout.
+
+The network also keeps per-message-kind counters, which experiment E3
+(RAS message scaling, paper section 7.2.1) reads directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.net.address import (
+    DEFAULT_DOWNSTREAM_BPS,
+    DEFAULT_UPSTREAM_BPS,
+    is_settop_ip,
+)
+from repro.net.link import Link
+from repro.net.message import HEADER_BYTES, Message
+from repro.sim.host import Host
+from repro.sim.kernel import Kernel
+
+# FDDI ring between the servers (paper Figure 1); 100 Mbit/s was the FDDI
+# standard rate.
+FDDI_BPS = 100_000_000
+FDDI_LATENCY = 0.0005
+SETTOP_LATENCY = 0.005
+
+
+class PortUnreachable(Exception):
+    """Local send to a port nobody is bound to (used internally)."""
+
+
+class _Interface:
+    """A host's point of attachment: one inbound and one outbound link."""
+
+    def __init__(self, host: Host, ip: str, in_link: Link, out_link: Link):
+        self.host = host
+        self.ip = ip
+        self.in_link = in_link
+        self.out_link = out_link
+        self.ports: Dict[int, Callable[[Message], None]] = {}
+
+
+class Network:
+    """The cluster fabric connecting servers and settops."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self._interfaces: Dict[str, _Interface] = {}
+        self._partitions: List[Tuple[Set[str], Set[str]]] = []
+        self._loss: Dict[str, Tuple[float, Any]] = {}  # ip -> (prob, rng)
+        self.messages_sent: int = 0
+        self.messages_delivered: int = 0
+        self.messages_dropped: int = 0
+        self.messages_lost: int = 0
+        self.sent_by_kind: Dict[str, int] = {}
+        self.bytes_by_kind: Dict[str, int] = {}
+
+    # -- attachment ----------------------------------------------------
+
+    def attach(self, host: Host, ip: str,
+               upstream_bps: Optional[float] = None,
+               downstream_bps: Optional[float] = None,
+               latency: Optional[float] = None) -> None:
+        """Attach a host at ``ip``.
+
+        Settop addresses default to the Orlando per-settop caps (50 kbit/s
+        up, 6 Mbit/s down); server addresses default to FDDI.
+        """
+        if ip in self._interfaces:
+            raise ValueError(f"address already attached: {ip}")
+        if is_settop_ip(ip):
+            up = upstream_bps if upstream_bps is not None else DEFAULT_UPSTREAM_BPS
+            down = (downstream_bps if downstream_bps is not None
+                    else DEFAULT_DOWNSTREAM_BPS)
+            lat = latency if latency is not None else SETTOP_LATENCY
+        else:
+            up = upstream_bps if upstream_bps is not None else FDDI_BPS
+            down = downstream_bps if downstream_bps is not None else FDDI_BPS
+            lat = latency if latency is not None else FDDI_LATENCY
+        iface = _Interface(
+            host, ip,
+            in_link=Link(self.kernel, down, latency=lat, name=f"{ip}:in"),
+            out_link=Link(self.kernel, up, latency=lat, name=f"{ip}:out"),
+        )
+        self._interfaces[ip] = iface
+        host.ip = ip
+
+    def detach(self, ip: str) -> None:
+        self._interfaces.pop(ip, None)
+
+    def interface(self, ip: str) -> _Interface:
+        if ip not in self._interfaces:
+            raise KeyError(f"no host attached at {ip}")
+        return self._interfaces[ip]
+
+    def host_at(self, ip: str) -> Host:
+        return self.interface(ip).host
+
+    def downlink_of(self, ip: str) -> Link:
+        """The inbound link of a host (where CBR movie streams reserve)."""
+        return self.interface(ip).in_link
+
+    def uplink_of(self, ip: str) -> Link:
+        return self.interface(ip).out_link
+
+    # -- ports -----------------------------------------------------------
+
+    def bind_port(self, ip: str, port: int, handler: Callable[[Message], None]) -> None:
+        iface = self.interface(ip)
+        if port in iface.ports:
+            raise ValueError(f"port {port} already bound on {ip}")
+        iface.ports[port] = handler
+
+    def unbind_port(self, ip: str, port: int) -> None:
+        iface = self._interfaces.get(ip)
+        if iface is not None:
+            iface.ports.pop(port, None)
+
+    # -- partitions -------------------------------------------------------
+
+    def partition(self, side_a: Set[str], side_b: Set[str]) -> None:
+        """Block traffic between the two address sets (both directions)."""
+        self._partitions.append((set(side_a), set(side_b)))
+
+    def heal_partitions(self) -> None:
+        self._partitions = []
+
+    # -- loss injection ------------------------------------------------------
+
+    def set_loss(self, ip: str, probability: float, rng) -> None:
+        """Drop inbound datagrams at ``ip`` with the given probability.
+
+        Models a noisy drop on the cable plant.  Clients survive it
+        through their normal machinery: call timeouts, rebinds, and the
+        stream-stall watchdog.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("loss probability must be in [0, 1]")
+        if probability == 0.0:
+            self._loss.pop(ip, None)
+        else:
+            self._loss[ip] = (probability, rng)
+
+    def clear_loss(self) -> None:
+        self._loss.clear()
+
+    def _lose(self, dst_ip: str) -> bool:
+        entry = self._loss.get(dst_ip)
+        if entry is None:
+            return False
+        probability, rng = entry
+        if rng.random() < probability:
+            self.messages_lost += 1
+            return True
+        return False
+
+    def reachable(self, src_ip: str, dst_ip: str) -> bool:
+        for side_a, side_b in self._partitions:
+            if ((src_ip in side_a and dst_ip in side_b)
+                    or (src_ip in side_b and dst_ip in side_a)):
+                return False
+        return True
+
+    # -- delivery ---------------------------------------------------------
+
+    def send(self, msg: Message) -> None:
+        """Inject a datagram; delivery (or drop) happens asynchronously."""
+        self.messages_sent += 1
+        self.sent_by_kind[msg.kind] = self.sent_by_kind.get(msg.kind, 0) + 1
+        self.bytes_by_kind[msg.kind] = (
+            self.bytes_by_kind.get(msg.kind, 0) + msg.size_bytes)
+        src_ip = msg.src[0]
+        dst_ip = msg.dst[0]
+        src_iface = self._interfaces.get(src_ip)
+        dst_iface = self._interfaces.get(dst_ip)
+        if src_iface is None or not src_iface.host.up:
+            self.messages_dropped += 1
+            return
+        if dst_iface is None or not self.reachable(src_ip, dst_ip):
+            # Unknown destination or partition: the datagram vanishes.
+            self.messages_dropped += 1
+            return
+        delay = src_iface.out_link.occupy(msg.size_bytes)
+        if src_ip != dst_ip:
+            delay += dst_iface.in_link.occupy(msg.size_bytes)
+        else:
+            # Loopback: no wire crossed; charge a scheduling quantum only.
+            delay = 1e-5
+        self.kernel.call_later(delay, self._deliver, msg)
+
+    def _deliver(self, msg: Message) -> None:
+        dst_ip, dst_port = msg.dst
+        iface = self._interfaces.get(dst_ip)
+        if iface is None or not iface.host.up or not self.reachable(msg.src[0], dst_ip):
+            # Host died or got partitioned while the datagram was in flight.
+            self.messages_dropped += 1
+            return
+        if self._lose(dst_ip):
+            return  # plant noise ate the datagram
+        handler = iface.ports.get(dst_port)
+        if handler is None:
+            # TCP-RST analogue: tell the sender nobody is listening, so the
+            # client fails fast instead of timing out (section 3.2.1).
+            self.messages_dropped += 1
+            self._send_unreachable(msg)
+            return
+        self.messages_delivered += 1
+        handler(msg)
+
+    def _send_unreachable(self, original: Message) -> None:
+        src_ip, src_port = original.src
+        iface = self._interfaces.get(src_ip)
+        if iface is None or not iface.host.up:
+            return
+        handler = iface.ports.get(src_port)
+        if handler is None:
+            return
+        notice = Message(
+            src=original.dst, dst=original.src, kind="port_unreachable",
+            payload={"msg_id": original.msg_id}, payload_bytes=0)
+        self.kernel.call_later(FDDI_LATENCY, self._deliver_notice, notice, handler)
+
+    def _deliver_notice(self, notice: Message, handler: Callable[[Message], None]) -> None:
+        iface = self._interfaces.get(notice.dst[0])
+        if iface is None or not iface.host.up:
+            return
+        # Re-check binding: the waiting process may itself have died.
+        current = iface.ports.get(notice.dst[1])
+        if current is not None:
+            current(notice)
+
+    # -- CBR streams and broadcast ------------------------------------------
+
+    def send_reserved(self, msg: Message, reservation_key: str) -> bool:
+        """Deliver a datagram over a CBR reservation on the destination's
+        downlink (ATM virtual circuit).
+
+        Reserved traffic bypasses the datagram queue -- the Connection
+        Manager already carved out its bandwidth -- so delivery takes only
+        propagation latency.  Returns False (dropping the message) when
+        the circuit does not exist, matching ATM cells on a torn-down VC.
+        """
+        self.messages_sent += 1
+        self.sent_by_kind[msg.kind] = self.sent_by_kind.get(msg.kind, 0) + 1
+        self.bytes_by_kind[msg.kind] = (
+            self.bytes_by_kind.get(msg.kind, 0) + msg.size_bytes)
+        src_ip, dst_ip = msg.src[0], msg.dst[0]
+        src_iface = self._interfaces.get(src_ip)
+        dst_iface = self._interfaces.get(dst_ip)
+        if (src_iface is None or not src_iface.host.up or dst_iface is None
+                or not self.reachable(src_ip, dst_ip)
+                or not dst_iface.in_link.has_reservation(reservation_key)):
+            self.messages_dropped += 1
+            return False
+        self.kernel.call_later(dst_iface.in_link.latency, self._deliver, msg)
+        return True
+
+    def broadcast(self, src_ip: str, dst_ips: List[str], port: int,
+                  kind: str, payload: Any, payload_bytes: int = 0) -> int:
+        """Downstream broadcast: one transmission reaching many settops.
+
+        Models the cable plant's shared downstream channel (the boot and
+        kernel broadcast services, section 3.4.1): the sender pays for one
+        copy on its uplink; receivers hear it after their link latency
+        without per-receiver serialization.  Returns the number of hosts
+        the broadcast reached.
+        """
+        src_iface = self._interfaces.get(src_ip)
+        if src_iface is None or not src_iface.host.up:
+            return 0
+        delay = src_iface.out_link.occupy(HEADER_BYTES + payload_bytes)
+        reached = 0
+        for dst_ip in dst_ips:
+            iface = self._interfaces.get(dst_ip)
+            if iface is None or not self.reachable(src_ip, dst_ip):
+                continue
+            msg = Message(src=(src_ip, 0), dst=(dst_ip, port), kind=kind,
+                          payload=payload, payload_bytes=payload_bytes)
+            self.messages_sent += 1
+            self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + 1
+            self.kernel.call_later(delay + iface.in_link.latency,
+                                   self._deliver, msg)
+            reached += 1
+        return reached
+
+    # -- accounting ---------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.sent_by_kind = {}
+        self.bytes_by_kind = {}
+
+    def count_kind(self, prefix: str) -> int:
+        """Total messages whose kind starts with ``prefix``."""
+        return sum(n for kind, n in self.sent_by_kind.items()
+                   if kind.startswith(prefix))

@@ -1,0 +1,33 @@
+"""OCS object exchange layer: distributed objects over the simulated net.
+
+This is the base of the paper's Object Communication System (section 3.2):
+object references that uniquely identify an object and die with their
+implementing process, client stubs that turn method calls into remote
+invocations, and server-side dispatch with per-call caller identity.
+"""
+
+from repro.ocs.exceptions import (
+    AuthError,
+    CallTimeout,
+    CommFailure,
+    InvalidObjectReference,
+    OCSError,
+    RemoteException,
+    ServiceUnavailable,
+)
+from repro.ocs.objref import ObjectRef
+from repro.ocs.runtime import CallContext, OCSRuntime, Stub
+
+__all__ = [
+    "AuthError",
+    "CallContext",
+    "CallTimeout",
+    "CommFailure",
+    "InvalidObjectReference",
+    "OCSError",
+    "OCSRuntime",
+    "ObjectRef",
+    "RemoteException",
+    "ServiceUnavailable",
+    "Stub",
+]

@@ -1,0 +1,44 @@
+"""OCS exception hierarchy.
+
+The split that matters to availability code is :class:`ServiceUnavailable`
+vs everything else: the paper's client library (section 8.2) rebinds
+through the name service exactly when an invocation fails because the
+implementor is gone -- not when the application itself raised an error.
+"""
+
+
+class OCSError(Exception):
+    """Base class for all OCS-level errors."""
+
+
+class ServiceUnavailable(OCSError):
+    """The invoked object cannot currently provide service.
+
+    Subclasses distinguish *why*, but the recovery action is the same:
+    obtain a fresh object reference from the name service and retry.
+    """
+
+
+class CommFailure(ServiceUnavailable):
+    """No reply: host down, network partition, or message loss."""
+
+
+class CallTimeout(CommFailure):
+    """The per-call deadline elapsed with no reply."""
+
+
+class InvalidObjectReference(ServiceUnavailable):
+    """The reference's implementor has died or unexported the object.
+
+    Raised when the destination port is unbound (process exited), the
+    incarnation timestamp is stale (process restarted), or the object id
+    is no longer exported (section 3.2.1).
+    """
+
+
+class RemoteException(OCSError):
+    """The servant raised an exception type not registered for the wire."""
+
+
+class AuthError(OCSError):
+    """The call's credentials failed verification (section 3.3)."""

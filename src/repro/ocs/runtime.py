@@ -1,0 +1,392 @@
+"""The per-process OCS runtime: export, dispatch, and remote invocation.
+
+One :class:`OCSRuntime` exists per simulated process (the paper's "OCS
+runtime" that IDL-generated stubs call into).  It owns a network port,
+the table of exported objects, and the table of in-flight outgoing calls.
+When the process dies the port is unbound, so peers invoking stale
+references get a fast ``port_unreachable`` and raise
+:class:`InvalidObjectReference` -- the paper's "the client will detect
+this on the next attempt to use the object reference".
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.idl.interface import InterfaceDef, lookup_interface
+from repro.idl.types import estimated_size, resolve_exception
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.ocs.exceptions import (
+    AuthError,
+    CallTimeout,
+    InvalidObjectReference,
+    OCSError,
+    RemoteException,
+)
+from repro.ocs.objref import ANY_INCARNATION, ObjectRef
+from repro.sim.errors import CancelledError
+from repro.sim.host import Process
+from repro.sim.kernel import Future, Queue
+
+DEFAULT_CALL_TIMEOUT = 3.0
+
+# Section 3.3: "Calls and returns can optionally be signed and/or
+# encrypted.  By default, calls are signed but not encrypted; this allows
+# the server to authenticate a customer without entailing the overhead of
+# encryption."  Signing cost is part of the fixed header; encryption adds
+# padding + cipher framing per message.
+ENCRYPTION_OVERHEAD_BYTES = 48
+
+_port_counter = [9999]
+
+
+def _next_port() -> int:
+    _port_counter[0] += 1
+    return _port_counter[0]
+
+
+def allocate_port() -> int:
+    """Allocate a fresh port for raw (non-OCS) traffic, e.g. the data
+    port a settop application receives movie chunks on."""
+    return _next_port()
+
+
+@dataclass(frozen=True)
+class CallContext:
+    """Per-call caller identity handed to every servant method.
+
+    Replaces Spring-style per-client capability objects: "each incoming
+    call on an object contains the caller's identity and it is up to the
+    service to determine if the caller is allowed to invoke the desired
+    operation" (section 9.2).
+    """
+
+    caller: str
+    caller_ip: str
+    authenticated: bool = False
+    encrypted: bool = False
+
+
+@dataclass
+class _Export:
+    servant: Any
+    interface: InterfaceDef
+    single_threaded: bool = False
+    queue: Optional[Queue] = None
+
+
+@dataclass
+class _PendingCall:
+    future: Future
+    msg_id: int
+    method: str
+    timeout_handle: Any
+
+
+class OCSRuntime:
+    """Object adapter + transport endpoint for one process."""
+
+    def __init__(self, process: Process, network: Network,
+                 principal: Optional[str] = None, port: Optional[int] = None):
+        self.process = process
+        self.network = network
+        self.kernel = process.kernel
+        self.ip = process.host.ip
+        if self.ip is None:
+            raise OCSError(f"host {process.host.name} is not attached to a network")
+        # Well-known ports are used by bootstrap services (the name
+        # service); everything else gets a fresh ephemeral port per
+        # incarnation.
+        self.port = port if port is not None else _next_port()
+        self.principal = principal or f"{process.name}@{process.host.name}"
+        # Optional security hooks installed by repro.auth: credentials are
+        # attached to outgoing calls, the verifier checks incoming ones.
+        self.credentials: Any = None
+        self.verifier: Optional[Callable[[Any, str], bool]] = None
+        self._exports: Dict[str, _Export] = {}
+        self._pending: Dict[int, _PendingCall] = {}
+        self._msgid_to_call: Dict[int, int] = {}
+        self._call_counter = 0
+        self.calls_sent = 0
+        self.calls_served = 0
+        network.bind_port(self.ip, self.port, self._on_message)
+        process.on_exit(self._on_process_exit)
+        process.attachments["ocs"] = self
+
+    # -- server side ---------------------------------------------------
+
+    def export(self, servant: Any, type_id: str, object_id: str = "",
+               single_threaded: bool = False) -> ObjectRef:
+        """Make ``servant`` invocable as an object of type ``type_id``.
+
+        Most services export exactly one object with a null object id
+        (paper section 9.2); dynamically created objects (MDS movie
+        objects, naming contexts) pass an explicit ``object_id``.
+        ``single_threaded`` serializes calls through a queue, modelling
+        the paper's single-threaded services that could not answer pings
+        while busy (section 7.2).
+        """
+        iface = lookup_interface(type_id)
+        if object_id in self._exports:
+            raise OCSError(
+                f"object id {object_id!r} already exported by {self.process.name}")
+        export = _Export(servant=servant, interface=iface,
+                         single_threaded=single_threaded)
+        if single_threaded:
+            export.queue = Queue(self.kernel)
+            self.process.create_task(
+                self._single_thread_worker(export), name=f"st-{type_id}")
+        self._exports[object_id] = export
+        return ObjectRef(ip=self.ip, port=self.port,
+                         incarnation=self.process.incarnation,
+                         type_id=type_id, object_id=object_id)
+
+    def unexport(self, object_id: str = "") -> None:
+        self._exports.pop(object_id, None)
+
+    def is_exported(self, object_id: str = "") -> bool:
+        return object_id in self._exports
+
+    # -- client side -----------------------------------------------------
+
+    def stub(self, ref: ObjectRef) -> "Stub":
+        """Build a typed client stub for ``ref``."""
+        return Stub(self, ref)
+
+    def invoke(self, ref: Optional[ObjectRef], method: str, args: tuple = (),
+               timeout: float = DEFAULT_CALL_TIMEOUT,
+               encrypted: bool = False) -> Future:
+        """Invoke ``method`` on the remote object; returns a future.
+
+        Raises (through the future) :class:`InvalidObjectReference` when
+        the implementor has died, :class:`CallTimeout` when no reply
+        arrives, or the servant's own registered exception type.
+        """
+        fut = self.kernel.create_future()
+        if ref is None:
+            fut.set_exception(InvalidObjectReference("nil object reference"))
+            return fut
+        try:
+            iface = lookup_interface(ref.type_id)
+            mdef = iface.method(method)
+            mdef.check_args(args)
+        except Exception as err:  # noqa: BLE001 - surface through the future
+            fut.set_exception(err)
+            return fut
+        self._call_counter += 1
+        call_id = self._call_counter
+        self.calls_sent += 1
+        payload = {
+            "call_id": call_id,
+            "object_id": ref.object_id,
+            "incarnation": ref.incarnation,
+            "type_id": ref.type_id,
+            "method": method,
+            "args": args,
+            "caller": self.principal,
+            "credentials": self.credentials,
+            "encrypted": encrypted,
+        }
+        wire_bytes = estimated_size(args)
+        if encrypted:
+            wire_bytes += ENCRYPTION_OVERHEAD_BYTES
+        msg = Message(
+            src=(self.ip, self.port), dst=(ref.ip, ref.port),
+            kind=f"rpc.call.{ref.type_id}.{method}",
+            payload=payload, payload_bytes=wire_bytes)
+        if mdef.oneway:
+            self.network.send(msg)
+            fut.set_result(None)
+            return fut
+        handle = self.kernel.call_later(timeout, self._on_timeout, call_id)
+        self._pending[call_id] = _PendingCall(
+            future=fut, msg_id=msg.msg_id, method=method, timeout_handle=handle)
+        self._msgid_to_call[msg.msg_id] = call_id
+        self.network.send(msg)
+        return fut
+
+    # -- message handling ---------------------------------------------------
+
+    def _on_message(self, msg: Message) -> None:
+        if not self.process.alive:
+            return
+        if msg.kind.startswith("rpc.call."):
+            self._handle_call(msg)
+        elif msg.kind.startswith("rpc.reply"):
+            self._handle_reply(msg)
+        elif msg.kind == "port_unreachable":
+            self._handle_unreachable(msg)
+
+    def _handle_call(self, msg: Message) -> None:
+        payload = msg.payload
+        call_id = payload["call_id"]
+        object_id = payload["object_id"]
+        export = self._exports.get(object_id)
+        incarnation_ok = (payload["incarnation"] == self.process.incarnation
+                          or payload["incarnation"] == ANY_INCARNATION)
+        if export is None or not incarnation_ok:
+            self._reply_error(msg, call_id,
+                              "InvalidObjectReference",
+                              f"no live object {object_id!r} here")
+            return
+        if self.verifier is not None:
+            if not self.verifier(payload.get("credentials"), payload["caller"]):
+                self._reply_error(msg, call_id, "AuthError",
+                                  f"bad credentials from {payload['caller']}")
+                return
+        ctx = CallContext(caller=payload["caller"], caller_ip=msg.src[0],
+                          authenticated=self.verifier is not None,
+                          encrypted=bool(payload.get("encrypted")))
+        if export.single_threaded:
+            export.queue.put((msg, ctx, export))
+        else:
+            self.process.create_task(
+                self._run_servant(msg, ctx, export),
+                name=f"serve-{payload['method']}")
+
+    async def _single_thread_worker(self, export: _Export) -> None:
+        while True:
+            msg, ctx, exp = await export.queue.get()
+            await self._run_servant(msg, ctx, exp)
+
+    async def _run_servant(self, msg: Message, ctx: CallContext,
+                           export: _Export) -> None:
+        payload = msg.payload
+        call_id = payload["call_id"]
+        method_name = payload["method"]
+        oneway = export.interface.method(method_name).oneway
+        self.calls_served += 1
+        try:
+            handler = getattr(export.servant, method_name, None)
+            if handler is None:
+                raise RemoteException(
+                    f"servant for {export.interface.name} does not implement "
+                    f"{method_name}")
+            result = handler(ctx, *payload["args"])
+            if hasattr(result, "__await__"):
+                result = await result
+        except CancelledError:
+            # The process died mid-call; the caller must observe silence
+            # (and eventually a timeout), not a marshaled cancellation.
+            raise
+        except Exception as err:  # noqa: BLE001 - marshal back to caller
+            if not oneway:
+                name = type(err).__name__
+                if resolve_exception(name) is None and not isinstance(err, OCSError):
+                    detail = "".join(traceback.format_exception_only(type(err), err))
+                    self._reply_error(msg, call_id, "RemoteException", detail.strip())
+                else:
+                    self._reply_error(msg, call_id, name, str(err))
+            return
+        if oneway:
+            return
+        reply_bytes = estimated_size(result)
+        if payload.get("encrypted"):
+            # Returns are protected the same way the call was.
+            reply_bytes += ENCRYPTION_OVERHEAD_BYTES
+        reply = Message(
+            src=(self.ip, self.port), dst=msg.src,
+            kind="rpc.reply",
+            payload={"call_id": call_id, "ok": True, "result": result},
+            payload_bytes=reply_bytes)
+        self.network.send(reply)
+
+    def _reply_error(self, msg: Message, call_id: int, exc_name: str,
+                     detail: str) -> None:
+        reply = Message(
+            src=(self.ip, self.port), dst=msg.src, kind="rpc.reply.error",
+            payload={"call_id": call_id, "ok": False,
+                     "error": exc_name, "detail": detail},
+            payload_bytes=estimated_size(detail))
+        self.network.send(reply)
+
+    def _handle_reply(self, msg: Message) -> None:
+        payload = msg.payload
+        pending = self._pending.pop(payload["call_id"], None)
+        if pending is None:
+            return  # reply raced with a timeout
+        self._msgid_to_call.pop(pending.msg_id, None)
+        pending.timeout_handle.cancel()
+        if pending.future.done():
+            return
+        if payload["ok"]:
+            pending.future.set_result(payload["result"])
+        else:
+            pending.future.set_exception(
+                self._materialize(payload["error"], payload["detail"]))
+
+    @staticmethod
+    def _materialize(exc_name: str, detail: str) -> BaseException:
+        if exc_name == "InvalidObjectReference":
+            return InvalidObjectReference(detail)
+        if exc_name == "AuthError":
+            return AuthError(detail)
+        cls = resolve_exception(exc_name)
+        if cls is not None:
+            return cls(detail)
+        return RemoteException(f"{exc_name}: {detail}")
+
+    def _handle_unreachable(self, msg: Message) -> None:
+        call_id = self._msgid_to_call.pop(msg.payload["msg_id"], None)
+        if call_id is None:
+            return
+        pending = self._pending.pop(call_id, None)
+        if pending is None:
+            return
+        pending.timeout_handle.cancel()
+        if not pending.future.done():
+            pending.future.set_exception(InvalidObjectReference(
+                f"implementor of {pending.method} has exited"))
+
+    def _on_timeout(self, call_id: int) -> None:
+        pending = self._pending.pop(call_id, None)
+        if pending is None:
+            return
+        self._msgid_to_call.pop(pending.msg_id, None)
+        if not pending.future.done():
+            pending.future.set_exception(CallTimeout(
+                f"no reply to {pending.method} within deadline"))
+
+    def _on_process_exit(self, _proc: Process) -> None:
+        self.network.unbind_port(self.ip, self.port)
+        self._exports.clear()
+        for pending in self._pending.values():
+            pending.timeout_handle.cancel()
+            if not pending.future.done():
+                pending.future.cancel()
+        self._pending.clear()
+        self._msgid_to_call.clear()
+
+
+class Stub:
+    """IDL-compiler-style client stub: attribute access yields operations.
+
+    ``await stub.open("T2")`` performs a remote invocation on the stub's
+    object reference with full signature checking.
+    """
+
+    def __init__(self, runtime: OCSRuntime, ref: ObjectRef):
+        self._runtime = runtime
+        self._ref = ref
+        self._iface = lookup_interface(ref.type_id)
+
+    @property
+    def ref(self) -> ObjectRef:
+        return self._ref
+
+    def __getattr__(self, name: str):
+        # Raises NoSuchMethod for operations outside the interface,
+        # matching IDL-compiled stubs failing at compile time.
+        self._iface.method(name)
+
+        def call(*args: Any, timeout: float = DEFAULT_CALL_TIMEOUT) -> Future:
+            return self._runtime.invoke(self._ref, name, args, timeout=timeout)
+
+        call.__name__ = name
+        return call
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Stub {self._ref!r}>"

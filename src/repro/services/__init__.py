@@ -1,0 +1,12 @@
+"""The ITV services of paper Figure 2, built on OCS.
+
+Base support services: Settop Manager, database, Resource Audit Service
+(in :mod:`repro.core.ras`), authentication (in :mod:`repro.auth`).
+Application building blocks: Connection Manager, Media Delivery Service,
+Reliable Delivery Service, Media Management Service, Boot/Kernel
+Broadcast, File Service.
+"""
+
+from repro.services.base import Service
+
+__all__ = ["Service"]

@@ -1,0 +1,148 @@
+"""Boot Broadcast and Kernel Broadcast services (sections 3.3, 3.4.1).
+
+"Because settops are diskless, the kernel and first application are
+broadcast to settops using a secure protocol.  This broadcast also
+provides the settops with basic configuration information, such as the
+IP address of the name service replica to be used by this settop."
+
+Each server's Boot Broadcast Service cycles boot parameters to the
+settops of its neighbourhoods over the shared downstream channel.  The
+Kernel Broadcast Service is one of the paper's primary/backup services
+(section 8.1 lists it with the CSC and MMS): only the primary broadcasts
+the kernel image, cluster-wide.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.replication import PrimaryBackupBinder
+from repro.idl import register_interface
+from repro.ocs.runtime import CallContext
+from repro.services.base import Service
+from repro.services.data import Blob
+
+# Well-known settop ports for the downstream broadcast channel.
+BOOT_PARAMS_PORT = 100
+KERNEL_PORT = 101
+
+BOOT_CYCLE = 2.0       # params broadcast period
+KERNEL_CYCLE = 3.0     # kernel image broadcast period
+KERNEL_SIZE = 512_000  # bytes
+KERNEL_VERSION = 7
+
+register_interface("BootBroadcast", {
+    "bootInfo": ("neighborhood",),
+    "broadcastCount": (),
+}, doc="Boot parameter broadcast (section 3.4.1)")
+
+register_interface("KernelBroadcast", {
+    "kernelVersion": (),
+}, doc="Kernel image broadcast (Figure 2)")
+
+
+class BootBroadcastService(Service):
+    service_name = "boot"
+
+    def __init__(self, env, process):
+        super().__init__(env, process)
+        self.broadcasts = 0
+
+    async def start(self) -> None:
+        self.ref = self.runtime.export(_BootServant(self), "BootBroadcast")
+        await self.register_objects([self.ref])
+        await self.bind_as_replica("boot", self.host.ip, self.ref,
+                                   selector="sameserver")
+        self.spawn_task(self._broadcast_loop(), name="boot-broadcast")
+
+    def _my_neighborhoods(self) -> List[int]:
+        return self.env.cluster.get("neighborhoods_by_server",
+                                    {}).get(self.host.ip, [])
+
+    def boot_params(self, neighborhood: int) -> dict:
+        return {
+            "neighborhood": neighborhood,
+            # The name service replica this settop should bootstrap from:
+            # its neighbourhood's server, with the other replicas as
+            # fall-backs should that server fail.
+            "ns_ip": self.host.ip,
+            "ns_ips": [self.host.ip] + [
+                ip for ip in self.env.cluster.get("server_ips", [])
+                if ip != self.host.ip],
+            "kernel_version": KERNEL_VERSION,
+            "first_application": "appmgr",
+            # Channel line-up: which channels carry interactive
+            # applications or venues (section 3.4.3).
+            "channels": self.env.cluster.get("channels", {}),
+            "venues": self.env.cluster.get("venues", {}),
+        }
+
+    async def _broadcast_loop(self) -> None:
+        while True:
+            settops = self.env.cluster.get("settops_by_neighborhood", {})
+            for nbhd in self._my_neighborhoods():
+                ips = settops.get(nbhd, [])
+                if not ips:
+                    continue
+                self.env.network.broadcast(
+                    self.host.ip, ips, BOOT_PARAMS_PORT, "boot.params",
+                    self.boot_params(nbhd), payload_bytes=512)
+                self.broadcasts += 1
+            await self.kernel.sleep(BOOT_CYCLE)
+
+
+class _BootServant:
+    def __init__(self, svc: BootBroadcastService):
+        self._svc = svc
+
+    async def bootInfo(self, ctx: CallContext, neighborhood: int):
+        return self._svc.boot_params(neighborhood)
+
+    async def broadcastCount(self, ctx: CallContext):
+        return self._svc.broadcasts
+
+
+class KernelBroadcastService(Service):
+    service_name = "kbs"
+
+    def __init__(self, env, process):
+        super().__init__(env, process)
+        self._is_primary = False
+        self.kernel_broadcasts = 0
+
+    async def start(self) -> None:
+        self.ref = self.runtime.export(_KernelServant(self), "KernelBroadcast")
+        await self.register_objects([self.ref])
+        self.binder = PrimaryBackupBinder(self, "svc/kbs", self.ref,
+                                          on_promote=self._on_promote,
+                                          on_demote=self._on_demote)
+        self.spawn_task(self.binder.run(), name="kbs-binder")
+
+    def _on_promote(self):
+        self._is_primary = True
+        self.spawn_task(self._broadcast_loop(), name="kbs-broadcast")
+
+    def _on_demote(self):
+        self._is_primary = False
+
+    async def _broadcast_loop(self) -> None:
+        image = Blob(name="kernel", size=KERNEL_SIZE, version=KERNEL_VERSION,
+                     kind="kernel")
+        while self._is_primary:
+            settops = self.env.cluster.get("settops_by_neighborhood", {})
+            all_ips = [ip for ips in settops.values() for ip in ips]
+            if all_ips:
+                self.env.network.broadcast(
+                    self.host.ip, all_ips, KERNEL_PORT, "boot.kernel",
+                    {"version": KERNEL_VERSION, "image": image},
+                    payload_bytes=KERNEL_SIZE)
+                self.kernel_broadcasts += 1
+            await self.kernel.sleep(KERNEL_CYCLE)
+
+
+class _KernelServant:
+    def __init__(self, svc: KernelBroadcastService):
+        self._svc = svc
+
+    async def kernelVersion(self, ctx: CallContext):
+        return KERNEL_VERSION

@@ -1,0 +1,28 @@
+"""Bulk-data value types carried over OCS.
+
+The simulation charges the network for payload *sizes* rather than
+shipping real megabytes through Python; a :class:`Blob` names a piece of
+content and carries its byte size as the marshaling hint that
+:func:`repro.idl.types.estimated_size` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Blob:
+    """Named bulk content: an application binary, font, image, kernel."""
+
+    name: str
+    size: int
+    version: int = 1
+    kind: str = "data"
+
+    @property
+    def wire_size(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Blob {self.name} v{self.version} {self.size}B>"

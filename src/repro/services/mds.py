@@ -1,0 +1,234 @@
+"""Media Delivery Service: "delivers constant bit rate data (e.g. MPEG
+video) to settops" (Figure 2, section 3.4.4).
+
+One replica per server, bound under its server name (Figure 4 resolves
+``svc/mds/forge``).  The MDS is one of the two services that create
+objects dynamically (section 9.2): every ``open`` mints a movie object
+that lives until closed or until its process dies, when the MMS's audit
+machinery reclaims it.
+
+Streaming: the movie object emits one chunk per
+``Params.stream_chunk_seconds`` over the ATM circuit the Connection
+Manager reserved (``Network.send_reserved``); the settop application
+detects delivery failure as a chunk gap (section 3.5.2: "the application
+detects the failure when it stops receiving data").
+
+"The Media Delivery Service likewise waits for clients to call in to
+restart the movie they were viewing at the time of failure" (section
+10.1.1) -- the MDS keeps no durable open-movie state; clients reopen.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.idl import register_exception, register_interface
+from repro.net.message import Message
+from repro.ocs.objref import ObjectRef
+from repro.ocs.runtime import CallContext
+from repro.services.base import Service
+
+register_interface("MDS", {
+    "open": ("title", "settop_ip", "conn_id", "data_port"),
+    "listTitles": (),
+    "load": (),
+    "listOpen": (),
+}, doc="Media Delivery Service (Figure 2)")
+
+register_interface("Movie", {
+    "play": (),
+    "playFrom": ("position",),
+    "pause": (),
+    "position": (),
+    "info": (),
+    "close": (),
+}, doc="One open movie stream (section 3.4.4)")
+
+
+@register_exception
+class NoSuchTitle(Exception):
+    """The requested movie is not on this server's disks."""
+
+
+@register_exception
+class DiskStreamsExhausted(Exception):
+    """This MDS replica's disk-stream budget is fully committed."""
+
+
+MOVIE_DISK_PREFIX = "movies/"
+
+
+def seed_movie(disk, title: str, duration: float, bitrate: float) -> None:
+    """Place a movie file on a server disk (content distribution)."""
+    disk.write(MOVIE_DISK_PREFIX + title,
+               {"duration": duration, "bitrate": bitrate})
+
+
+class MediaDeliveryService(Service):
+    service_name = "mds"
+
+    def __init__(self, env, process):
+        super().__init__(env, process)
+        self._open: Dict[str, "MovieServant"] = {}
+        self._movie_counter = 0
+        self.chunks_sent = 0
+
+    async def start(self) -> None:
+        self.ref = self.runtime.export(_MDSServant(self), "MDS")
+        await self.register_objects([self.ref])
+        await self.bind_as_replica("mds", self.host.name, self.ref,
+                                   selector="first")
+
+    # -- catalog ------------------------------------------------------------
+
+    def titles(self) -> List[str]:
+        prefix = MOVIE_DISK_PREFIX
+        return sorted(k[len(prefix):] for k in self.host.disk.keys()
+                      if k.startswith(prefix))
+
+    def movie_info(self, title: str) -> dict:
+        info = self.host.disk.read(MOVIE_DISK_PREFIX + title)
+        if info is None:
+            raise NoSuchTitle(title)
+        return info
+
+    # -- movie objects --------------------------------------------------------
+
+    def open_movie(self, title: str, settop_ip: str, conn_id: str,
+                   data_port: int) -> ObjectRef:
+        info = self.movie_info(title)
+        if len(self._open) >= self.params.mds_disk_streams:
+            raise DiskStreamsExhausted(
+                f"{self.host.name}: {len(self._open)} streams open")
+        self._movie_counter += 1
+        object_id = f"movie:{self._movie_counter}"
+        servant = MovieServant(self, object_id, title, info, settop_ip,
+                               conn_id, data_port)
+        ref = self.runtime.export(servant, "Movie", object_id=object_id)
+        servant.ref = ref
+        self._open[object_id] = servant
+        self.emit("movie_opened", title=title, settop=settop_ip)
+        return ref
+
+    def close_movie(self, object_id: str) -> None:
+        servant = self._open.pop(object_id, None)
+        if servant is not None:
+            servant.halt()
+            self.runtime.unexport(object_id)
+            self.emit("movie_closed", title=servant.title,
+                      settop=servant.settop_ip)
+
+    def load(self) -> dict:
+        return {"open_streams": len(self._open),
+                "capacity": self.params.mds_disk_streams,
+                "host": self.host.name}
+
+    def list_open(self) -> List[dict]:
+        return [{"movie": s.ref, "title": s.title, "settop_ip": s.settop_ip,
+                 "conn_id": s.conn_id}
+                for s in self._open.values()]
+
+
+class MovieServant:
+    """One open movie: position tracking + the chunk pump."""
+
+    def __init__(self, mds: MediaDeliveryService, object_id: str, title: str,
+                 info: dict, settop_ip: str, conn_id: str, data_port: int):
+        self.mds = mds
+        self.object_id = object_id
+        self.title = title
+        self.duration = info["duration"]
+        self.bitrate = info["bitrate"]
+        self.settop_ip = settop_ip
+        self.conn_id = conn_id
+        self.data_port = data_port
+        self.ref: Optional[ObjectRef] = None
+        self.state = "open"        # open | playing | paused | done
+        self.pos = 0.0
+        self._pump = None
+
+    # -- IDL operations --------------------------------------------------
+
+    async def play(self, ctx: CallContext):
+        self._start_pump()
+
+    async def playFrom(self, ctx: CallContext, position: float):
+        self.pos = max(0.0, min(float(position), self.duration))
+        self._start_pump()
+
+    async def pause(self, ctx: CallContext):
+        self.state = "paused"
+        self._stop_pump()
+
+    async def position(self, ctx: CallContext):
+        return self.pos
+
+    async def info(self, ctx: CallContext):
+        return {"title": self.title, "duration": self.duration,
+                "bitrate": self.bitrate, "state": self.state,
+                "position": self.pos}
+
+    async def close(self, ctx: CallContext):
+        self.mds.close_movie(self.object_id)
+
+    # -- the pump -----------------------------------------------------------
+
+    def _start_pump(self) -> None:
+        self.state = "playing"
+        if self._pump is None or self._pump.done():
+            self._pump = self.mds.process.create_task(
+                self._pump_loop(), name=f"pump-{self.title}")
+
+    def _stop_pump(self) -> None:
+        if self._pump is not None:
+            self._pump.cancel()
+            self._pump = None
+
+    def halt(self) -> None:
+        self.state = "done"
+        self._stop_pump()
+
+    async def _pump_loop(self) -> None:
+        kernel = self.mds.kernel
+        chunk = self.mds.params.stream_chunk_seconds
+        while self.state == "playing" and self.pos < self.duration:
+            span = min(chunk, self.duration - self.pos)
+            msg = Message(
+                src=(self.mds.host.ip, self.mds.runtime.port),
+                dst=(self.settop_ip, self.data_port),
+                kind="mds.stream",
+                payload={"title": self.title, "position": self.pos,
+                         "span": span, "eof": False},
+                payload_bytes=int(self.bitrate * span / 8))
+            delivered = self.mds.env.network.send_reserved(msg, self.conn_id)
+            if delivered:
+                self.mds.chunks_sent += 1
+            self.pos += span
+            await kernel.sleep(span)
+        if self.state == "playing":
+            self.state = "done"
+            msg = Message(
+                src=(self.mds.host.ip, self.mds.runtime.port),
+                dst=(self.settop_ip, self.data_port), kind="mds.stream",
+                payload={"title": self.title, "position": self.pos,
+                         "span": 0.0, "eof": True},
+                payload_bytes=64)
+            self.mds.env.network.send_reserved(msg, self.conn_id)
+
+
+class _MDSServant:
+    def __init__(self, svc: MediaDeliveryService):
+        self._svc = svc
+
+    async def open(self, ctx: CallContext, title: str, settop_ip: str,
+                   conn_id: str, data_port: int):
+        return self._svc.open_movie(title, settop_ip, conn_id, data_port)
+
+    async def listTitles(self, ctx: CallContext):
+        return self._svc.titles()
+
+    async def load(self, ctx: CallContext):
+        return self._svc.load()
+
+    async def listOpen(self, ctx: CallContext):
+        return self._svc.list_open()

@@ -1,0 +1,93 @@
+"""Reliable Delivery Service: "downloads to the settop such data as
+fonts, images, and binaries, using a variable bit rate connection"
+(Figure 2, section 3.4.2).
+
+Replicated per neighbourhood: each server binds its replica under every
+neighbourhood number it serves, behind the neighbourhood selector, so
+``resolve("svc/rds")`` from a settop lands on its own server's replica
+(section 5.1's worked example uses exactly ``svc/rds``).
+
+Downloads are ordinary (signed) replies whose payload size is the file
+size, so delivery time is governed by the settop's downlink -- the 2-4 s
+application start of section 9.3.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.idl import register_exception, register_interface
+from repro.ocs.runtime import CallContext
+from repro.services.base import Service
+from repro.services.data import Blob
+
+register_interface("RDS", {
+    "openData": ("name",),
+    "listData": (),
+    "stat": ("name",),
+}, doc="Reliable Delivery Service (Figure 2)")
+
+
+@register_exception
+class NoSuchData(Exception):
+    """openData() named content this cluster does not carry."""
+
+
+RDS_DISK_PREFIX = "rdsdata/"
+
+
+def seed_data(disk, name: str, size: int, version: int = 1,
+              kind: str = "data") -> None:
+    """Place downloadable content on a server disk."""
+    disk.write(RDS_DISK_PREFIX + name,
+               {"size": size, "version": version, "kind": kind})
+
+
+class ReliableDeliveryService(Service):
+    service_name = "rds"
+
+    def __init__(self, env, process):
+        super().__init__(env, process)
+        self.downloads_served = 0
+        self.bytes_served = 0
+
+    async def start(self) -> None:
+        self.ref = self.runtime.export(_RDSServant(self), "RDS")
+        await self.register_objects([self.ref])
+        neighborhoods = self.env.cluster.get(
+            "neighborhoods_by_server", {}).get(self.host.ip, [])
+        for nbhd in neighborhoods:
+            await self.bind_as_replica("rds", str(nbhd), self.ref,
+                                       selector="neighborhood")
+
+    def open_data(self, name: str) -> Blob:
+        meta = self.host.disk.read(RDS_DISK_PREFIX + name)
+        if meta is None:
+            raise NoSuchData(name)
+        self.downloads_served += 1
+        self.bytes_served += meta["size"]
+        self.emit("download", name=name, size=meta["size"])
+        return Blob(name=name, size=meta["size"], version=meta["version"],
+                    kind=meta["kind"])
+
+    def list_data(self) -> List[str]:
+        prefix = RDS_DISK_PREFIX
+        return sorted(k[len(prefix):] for k in self.host.disk.keys()
+                      if k.startswith(prefix))
+
+
+class _RDSServant:
+    def __init__(self, svc: ReliableDeliveryService):
+        self._svc = svc
+
+    async def openData(self, ctx: CallContext, name: str):
+        return self._svc.open_data(name)
+
+    async def listData(self, ctx: CallContext):
+        return self._svc.list_data()
+
+    async def stat(self, ctx: CallContext, name: str):
+        meta = self._svc.host.disk.read(RDS_DISK_PREFIX + name)
+        if meta is None:
+            raise NoSuchData(name)
+        return dict(meta)

@@ -1,0 +1,91 @@
+"""Settop Manager: "maintains information on settop status (up or down)".
+
+Replicated per neighbourhood (section 5.1's per-neighbourhood style):
+each server runs one Settop Manager process that is bound into the name
+space under every neighbourhood number assigned to that server.  Settops
+report a boot and then heartbeat on their slow uplink; a settop that
+misses heartbeats for ``Params.settop_dead_after`` is reported down.
+
+State is volatile and rebuilt from heartbeats after a restart -- the
+stateless-server recovery pattern of section 10.1.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.idl import register_interface
+from repro.ocs.runtime import CallContext
+from repro.services.base import Service
+
+register_interface("SettopManager", {
+    "reportBoot": ("settop_ip",),
+    # Acknowledged, so the settop notices a restarted manager (stale
+    # reference -> exception -> re-resolve) and its heartbeats rebuild
+    # the manager's volatile table.
+    "heartbeat": ("settop_ip",),
+    "reportShutdown": ("settop_ip",),
+    "getStatus": ("settop_ips",),
+    "listSettops": (),
+}, doc="Settop liveness tracking (Figure 2)")
+
+
+class SettopManagerService(Service):
+    service_name = "settopmgr"
+
+    def __init__(self, env, process):
+        super().__init__(env, process)
+        self._last_seen: Dict[str, float] = {}
+        self._shutdown: Dict[str, bool] = {}
+
+    async def start(self) -> None:
+        ref = self.runtime.export(_SettopManagerServant(self), "SettopManager")
+        await self.register_objects([ref])
+        neighborhoods = self.env.cluster.get(
+            "neighborhoods_by_server", {}).get(self.host.ip, [])
+        for nbhd in neighborhoods:
+            await self.bind_as_replica("settopmgr", str(nbhd), ref,
+                                       selector="neighborhood")
+        # Also reachable per-server for the local RAS.
+        await self.bind_as_replica("settopmgr-local", self.host.ip, ref,
+                                   selector="sameserver")
+
+    # -- status model -------------------------------------------------------
+
+    def record_alive(self, settop_ip: str) -> None:
+        self._last_seen[settop_ip] = self.kernel.now
+        self._shutdown[settop_ip] = False
+
+    def record_shutdown(self, settop_ip: str) -> None:
+        self._shutdown[settop_ip] = True
+
+    def status_of(self, settop_ip: str) -> str:
+        if self._shutdown.get(settop_ip):
+            return "down"
+        last = self._last_seen.get(settop_ip)
+        if last is None:
+            return "unknown"
+        if self.kernel.now - last > self.params.settop_dead_after:
+            return "down"
+        return "up"
+
+
+class _SettopManagerServant:
+    def __init__(self, svc: SettopManagerService):
+        self._svc = svc
+
+    async def reportBoot(self, ctx: CallContext, settop_ip: str):
+        self._svc.record_alive(settop_ip)
+
+    async def heartbeat(self, ctx: CallContext, settop_ip: str):
+        self._svc.record_alive(settop_ip)
+
+    async def reportShutdown(self, ctx: CallContext, settop_ip: str):
+        self._svc.record_shutdown(settop_ip)
+
+    async def getStatus(self, ctx: CallContext, settop_ips: List[str]):
+        return [self._svc.status_of(ip) for ip in settop_ips]
+
+    async def listSettops(self, ctx: CallContext):
+        return sorted(ip for ip in self._svc._last_seen
+                      if self._svc.status_of(ip) == "up")

@@ -1,0 +1,108 @@
+"""Video-on-Demand service: the server portion of the VOD application.
+
+Section 10.1.1: "The Video on Demand service, which is one of the
+applications that can request the MDS to play movies, maintains
+information about the current point in movie play both in the settop and
+in its own service.  If either the settop or the service fails, the
+other can supply the information needed to start the MDS at the point
+where the movie stopped."
+
+The settop VOD application opens movies through the MMS directly
+(Figure 4); this service keeps the resume bookmarks, persisted through
+the database so they also survive VOD service failures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.rebind import RebindingProxy
+from repro.idl import register_interface
+from repro.ocs.exceptions import ServiceUnavailable
+from repro.ocs.runtime import CallContext
+from repro.services.base import Service
+
+register_interface("VOD", {
+    "getBookmark": ("title",),
+    "reportPosition": ("title", "position"),
+    "clearBookmark": ("title",),
+    "listBookmarks": (),
+}, doc="VOD application server portion (section 10.1.1)")
+
+BOOKMARK_TABLE = "vod_bookmarks"
+
+
+class VODService(Service):
+    service_name = "vod"
+
+    def __init__(self, env, process):
+        super().__init__(env, process)
+        # Volatile copy; the database is the durable one.
+        self._bookmarks: Dict[str, float] = {}
+
+    async def start(self) -> None:
+        self.ref = self.runtime.export(_VODServant(self), "VOD")
+        await self.register_objects([self.ref])
+        self._db = RebindingProxy(self.runtime, self.names, "svc/db",
+                                  self.params)
+        neighborhoods = self.env.cluster.get(
+            "neighborhoods_by_server", {}).get(self.host.ip, [])
+        for nbhd in neighborhoods:
+            await self.bind_as_replica("vod", str(nbhd), self.ref,
+                                       selector="neighborhood")
+
+    @staticmethod
+    def _key(settop_ip: str, title: str) -> str:
+        return f"{settop_ip}/{title}"
+
+    async def get_bookmark(self, settop_ip: str, title: str) -> float:
+        key = self._key(settop_ip, title)
+        if key in self._bookmarks:
+            return self._bookmarks[key]
+        try:
+            from repro.db.service import NoSuchKey
+            try:
+                pos = await self._db.call("get", BOOKMARK_TABLE, key)
+            except NoSuchKey:
+                pos = 0.0
+        except ServiceUnavailable:
+            pos = 0.0
+        self._bookmarks[key] = pos
+        return pos
+
+    async def report_position(self, settop_ip: str, title: str,
+                              position: float) -> None:
+        key = self._key(settop_ip, title)
+        self._bookmarks[key] = position
+        try:
+            await self._db.call("put", BOOKMARK_TABLE, key, position)
+        except ServiceUnavailable:
+            pass  # the in-memory copy still serves until the db returns
+
+    async def clear_bookmark(self, settop_ip: str, title: str) -> None:
+        key = self._key(settop_ip, title)
+        self._bookmarks.pop(key, None)
+        try:
+            await self._db.call("delete", BOOKMARK_TABLE, key)
+        except ServiceUnavailable:
+            pass
+
+
+class _VODServant:
+    def __init__(self, svc: VODService):
+        self._svc = svc
+
+    async def getBookmark(self, ctx: CallContext, title: str):
+        return await self._svc.get_bookmark(ctx.caller_ip, title)
+
+    async def reportPosition(self, ctx: CallContext, title: str,
+                             position: float):
+        await self._svc.report_position(ctx.caller_ip, title, position)
+
+    async def clearBookmark(self, ctx: CallContext, title: str):
+        await self._svc.clear_bookmark(ctx.caller_ip, title)
+
+    async def listBookmarks(self, ctx: CallContext):
+        prefix = f"{ctx.caller_ip}/"
+        return {k[len(prefix):]: v for k, v in self._svc._bookmarks.items()
+                if k.startswith(prefix)}

@@ -1,0 +1,11 @@
+"""The settop side: custom kernel, Application Manager, and applications.
+
+"Applications are themselves distributed, with a portion to control the
+user interface running on the settop and a portion to provide access to
+data and other services running on a server machine" (section 3).
+"""
+
+from repro.settop.app_manager import AppManager
+from repro.settop.kernel import SettopKernel
+
+__all__ = ["AppManager", "SettopKernel"]

@@ -1,0 +1,18 @@
+"""Settop-side application portions (section 3: VOD, shopping, games)."""
+
+from repro.settop.apps.base import SettopApp
+from repro.settop.apps.game import GameApp
+from repro.settop.apps.navigator import NavigatorApp
+from repro.settop.apps.shopping import ShoppingApp
+from repro.settop.apps.vod import VODApp
+
+#: what the AM can download and launch, by application name
+APP_CLASSES = {
+    "navigator": NavigatorApp,
+    "vod": VODApp,
+    "shopping": ShoppingApp,
+    "game": GameApp,
+}
+
+__all__ = ["APP_CLASSES", "GameApp", "NavigatorApp", "SettopApp",
+           "ShoppingApp", "VODApp"]

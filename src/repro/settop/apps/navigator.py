@@ -1,0 +1,39 @@
+"""The navigator: "a convenient way for settop users to find applications
+of interest" (section 3.4.2).
+
+Presents the channel line-up (venues, section 3.4.3) and asks the AM to
+tune; its "UI" is the list of channels it can describe to the viewer.
+"""
+
+from __future__ import annotations
+
+from repro.settop.apps.base import SettopApp
+
+
+class NavigatorApp(SettopApp):
+    name = "navigator"
+
+    def __init__(self, am, process):
+        super().__init__(am, process)
+        self.current_venue = None
+
+    async def start(self) -> None:
+        self.emit("up", channels=len(self.am.channels))
+
+    def enter_venue(self, venue) -> None:
+        """Scope the navigator to one venue's set (None = full line-up)."""
+        self.current_venue = venue
+        if venue is not None:
+            self.emit("venue", venue=venue)
+
+    def lineup(self) -> dict:
+        """What the viewer sees: the venue's applications, or the full
+        channel line-up."""
+        if self.current_venue is not None:
+            apps = self.am.venues.get(self.current_venue, [])
+            return {name: name for name in apps}
+        return dict(self.am.channels)
+
+    async def pick(self, channel) -> None:
+        """Viewer selects an application through the navigator."""
+        await self.am.tune(channel)

@@ -1,0 +1,207 @@
+"""The settop VOD application (Figure 4 client side, sections 3.5.2,
+10.1.1).
+
+Opens movies through the MMS, receives the CBR stream on a private data
+port, and keeps its own play position so that "if either the settop or
+the service fails, the other can supply the information needed to start
+the MDS at the point where the movie stopped".
+
+Failure recovery is the paper's own recipe: "If the MDS ... crashes
+while the settop is playing a movie, the application detects the failure
+when it stops receiving data.  The application recovers by closing the
+original movie and then asking MMS to open the movie again."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.net.message import Message
+from repro.ocs.exceptions import OCSError, ServiceUnavailable
+from repro.ocs.objref import ObjectRef
+from repro.ocs.runtime import allocate_port
+from repro.services.mms import MovieUnavailable
+from repro.settop.apps.base import SettopApp
+
+STALL_FACTOR = 3.0      # chunks missed before declaring the stream dead
+
+
+class VODApp(SettopApp):
+    name = "vod"
+
+    def __init__(self, am, process):
+        super().__init__(am, process)
+        self.mms = None
+        self.vod = None
+        self.movie: Optional[ObjectRef] = None
+        self.title: Optional[str] = None
+        self.position = 0.0
+        self.playing = False
+        self.finished = False
+        self._last_chunk: Optional[float] = None
+        self.data_port = allocate_port()
+        self.interruptions: List[dict] = []
+        self.chunks_received = 0
+        self._needs_recovery = False
+
+    async def start(self) -> None:
+        self.mms = self.proxy("svc/mms")
+        self.vod = self.proxy("svc/vod")
+        self.am.settop.network.bind_port(self.host.ip, self.data_port,
+                                         self._on_chunk)
+        self.process.on_exit(
+            lambda _p: self.am.settop.network.unbind_port(self.host.ip,
+                                                          self.data_port))
+        self.process.create_task(self._watchdog(), name="vod-watchdog")
+        self.process.create_task(self._position_reporter(), name="vod-pos")
+
+    # -- viewer operations -----------------------------------------------
+
+    async def play(self, title: str, resume: bool = True) -> None:
+        """Open and start a movie (Figure 4 steps 1-8)."""
+        if self.movie is not None:
+            await self.stop()
+        start_at = 0.0
+        if resume:
+            try:
+                start_at = await self.vod.call("getBookmark", title)
+            except (ServiceUnavailable, OCSError):
+                start_at = self.position if self.title == title else 0.0
+        self.title = title
+        self.position = start_at
+        self.finished = False
+        await self._open_and_play(start_at)
+
+    async def _open_and_play(self, from_position: float) -> None:
+        movie = await self.mms.call("open", self.title, self.data_port)
+        await self.runtime.invoke(movie, "playFrom", (from_position,),
+                                  timeout=self.params.call_timeout)
+        self.movie = movie
+        self.playing = True
+        self._last_chunk = self.kernel.now
+        self.emit("playing", title=self.title, position=from_position)
+
+    async def seek(self, position: float) -> None:
+        """VCR-style jump (the paper's "few seconds required for VCR
+        operations" expectation): restart the stream at ``position``."""
+        if self.movie is None:
+            return
+        self.position = max(0.0, position)
+        try:
+            await self.runtime.invoke(self.movie, "playFrom",
+                                      (self.position,),
+                                      timeout=self.params.call_timeout)
+            self.playing = True
+            self._last_chunk = self.kernel.now
+            self.emit("seek", title=self.title, position=self.position)
+        except (ServiceUnavailable, OCSError):
+            # The movie object died under us; the watchdog path recovers.
+            self._needs_recovery = True
+            self.playing = False
+
+    async def pause(self) -> None:
+        if self.movie is None:
+            return
+        self.playing = False
+        try:
+            await self.runtime.invoke(self.movie, "pause", (),
+                                      timeout=self.params.call_timeout)
+        except (ServiceUnavailable, OCSError):
+            pass
+        await self._report_position()
+
+    async def stop(self) -> None:
+        """Close the movie (section 3.4.5): lets the MMS reclaim resources."""
+        if self.movie is None:
+            return
+        movie, self.movie = self.movie, None
+        self.playing = False
+        try:
+            await self.mms.call("close", movie)
+        except (ServiceUnavailable, OCSError):
+            pass
+        await self._report_position()
+        self.emit("stopped", title=self.title, position=round(self.position, 1))
+
+    async def shutdown(self) -> None:
+        await self.stop()
+
+    # -- stream handling -----------------------------------------------------
+
+    def _on_chunk(self, msg: Message) -> None:
+        payload = msg.payload
+        if payload.get("title") != self.title:
+            return
+        self._last_chunk = self.kernel.now
+        self.chunks_received += 1
+        if payload.get("eof"):
+            self.playing = False
+            self.finished = True
+            self.emit("finished", title=self.title)
+            self.process.create_task(self._finish(), name="vod-finish")
+            return
+        self.position = payload["position"] + payload["span"]
+
+    async def _finish(self) -> None:
+        await self.stop()
+        try:
+            await self.vod.call("clearBookmark", self.title)
+        except (ServiceUnavailable, OCSError):
+            pass
+
+    async def _watchdog(self) -> None:
+        """Detect stream stalls and re-open through the MMS (section 3.5.2)."""
+        stall_after = self.params.stream_chunk_seconds * STALL_FACTOR
+        while True:
+            await self.kernel.sleep(self.params.stream_chunk_seconds)
+            if self._needs_recovery and not self.playing and not self.finished:
+                # An earlier recovery attempt failed (e.g. the replacement
+                # replica had not failed over yet); keep trying.
+                await self._recover()
+                continue
+            if not self.playing or self._last_chunk is None:
+                continue
+            gap = self.kernel.now - self._last_chunk
+            if gap < stall_after:
+                continue
+            stalled_at = self.kernel.now
+            self.emit("stall_detected", title=self.title,
+                      position=round(self.position, 1))
+            await self._recover()
+            self.interruptions.append({
+                "title": self.title, "at": stalled_at,
+                "outage": self.kernel.now - stalled_at + gap,
+                "recovered": self.playing,
+            })
+
+    async def _recover(self) -> None:
+        movie, self.movie = self.movie, None
+        self.playing = False
+        if movie is not None:
+            try:
+                await self.mms.call("close", movie)
+            except (ServiceUnavailable, OCSError):
+                pass
+        try:
+            await self._open_and_play(self.position)
+            self._needs_recovery = False
+            self.emit("recovered", title=self.title,
+                      position=round(self.position, 1))
+        except (MovieUnavailable, ServiceUnavailable, OCSError) as err:
+            self._needs_recovery = True
+            self.emit("recovery_failed", title=self.title, error=str(err))
+
+    async def _position_reporter(self) -> None:
+        """Keep the VOD service's copy of the position fresh (10.1.1)."""
+        while True:
+            await self.kernel.sleep(10.0)
+            if self.playing:
+                await self._report_position()
+
+    async def _report_position(self) -> None:
+        if self.title is None or self.finished:
+            return
+        try:
+            await self.vod.call("reportPosition", self.title, self.position)
+        except (ServiceUnavailable, OCSError):
+            pass

@@ -1,0 +1,57 @@
+"""Deterministic virtual-time simulation substrate.
+
+The paper's system ran on SGI Challenge servers and custom settop kernels;
+every mechanism it describes (bind-retry races, audit polling, fail-over
+bounds) is defined in terms of *time and messages*, not hardware.  This
+package provides the substitute substrate: a single-threaded event loop
+running on simulated time, with ``async``/``await`` tasks, futures,
+processes that can crash and restart, and seeded randomness so every run
+is exactly reproducible.
+
+Public surface:
+
+- :class:`~repro.sim.kernel.Kernel` -- the virtual-time event loop.
+- :class:`~repro.sim.kernel.Future`, :class:`~repro.sim.kernel.Task` --
+  awaitable primitives bound to a kernel.
+- :class:`~repro.sim.kernel.Event`, :class:`~repro.sim.kernel.Queue`,
+  :class:`~repro.sim.kernel.Semaphore` -- synchronisation helpers.
+- :class:`~repro.sim.host.Host` and :class:`~repro.sim.host.Process` --
+  the unit of failure: killing a process cancels its tasks and fires exit
+  watchers, exactly like the SSC's ``wait()`` loop in the paper (section 6.1).
+"""
+
+from repro.sim.errors import (
+    CancelledError,
+    InvalidStateError,
+    SimError,
+    SimTimeoutError,
+)
+from repro.sim.host import Host, Process, ProcessExit
+from repro.sim.kernel import (
+    Event,
+    Future,
+    Kernel,
+    Queue,
+    Semaphore,
+    Task,
+    gather,
+)
+from repro.sim.rand import SeededRandom
+
+__all__ = [
+    "CancelledError",
+    "Event",
+    "Future",
+    "Host",
+    "InvalidStateError",
+    "Kernel",
+    "Process",
+    "ProcessExit",
+    "Queue",
+    "SeededRandom",
+    "Semaphore",
+    "SimError",
+    "SimTimeoutError",
+    "Task",
+    "gather",
+]

@@ -1,0 +1,198 @@
+"""Hosts and processes: the units of failure.
+
+The paper's failure model has three grains (section 3.5): a *process*
+(service or settop application) can crash, a *server machine* can crash,
+and a *settop* can crash or be powered off.  This module models the first
+two; settops are just hosts with a single-process kernel.
+
+Key semantics reproduced from the paper:
+
+- Killing a process kills all processes it spawned (section 6.1: "If the
+  SSC crashes, all services that have been started by the SSC will exit as
+  well", because the SSC is their ``wait()``-ing parent).
+- Each process carries an *incarnation timestamp*; object references minted
+  by an earlier incarnation are invalid after restart (section 3.2.1).
+- Anything a process held in memory dies with it; only the host's
+  :class:`Disk` survives, which is what makes the "stateless recovery"
+  design of the RAS and MMS meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.errors import SimError
+from repro.sim.kernel import Kernel, Task
+
+
+class ProcessExit(SimError):
+    """Raised when interacting with a process that has exited."""
+
+
+_pid_counter = [0]
+
+
+class Process:
+    """A crashable unit of execution on a :class:`Host`.
+
+    Tasks created through :meth:`create_task` are cancelled when the
+    process is killed; exit watchers fire afterwards (the SSC and the OCS
+    transport both register watchers).
+    """
+
+    def __init__(self, host: "Host", name: str, parent: Optional["Process"] = None):
+        _pid_counter[0] += 1
+        self.pid = _pid_counter[0]
+        self.host = host
+        self.name = name
+        self.parent = parent
+        self.children: List["Process"] = []
+        self.alive = True
+        self.exit_status: Optional[str] = None
+        # Incarnation: (boot time, pid) -- unique even when two processes
+        # start at the same simulated instant.
+        self.incarnation = (host.kernel.now, self.pid)
+        self._tasks: List[Task] = []
+        self._exit_watchers: List[Callable[["Process"], None]] = []
+        # Arbitrary per-process attachments (the OCS runtime lives here).
+        self.attachments: Dict[str, Any] = {}
+        if parent is not None:
+            parent.children.append(self)
+
+    @property
+    def kernel(self) -> Kernel:
+        return self.host.kernel
+
+    def create_task(self, coro, name: Optional[str] = None) -> Task:
+        if not self.alive:
+            coro.close()
+            raise ProcessExit(f"process {self.name}({self.pid}) has exited")
+        task = self.kernel.create_task(coro, name=f"{self.name}:{name or 'task'}")
+        self._tasks.append(task)
+        self._tasks = [t for t in self._tasks if not t.done()]
+        return task
+
+    def on_exit(self, fn: Callable[["Process"], None]) -> None:
+        """Register a watcher called (once) after this process dies."""
+        if not self.alive:
+            self.kernel.call_soon(fn, self)
+        else:
+            self._exit_watchers.append(fn)
+
+    def kill(self, status: str = "killed") -> None:
+        """Terminate the process, its tasks, and (recursively) its children."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.exit_status = status
+        for child in list(self.children):
+            child.kill(status=f"parent {self.name} exited")
+        for task in self._tasks:
+            task.cancel()
+        self._tasks = []
+        if self.parent is not None and self in self.parent.children:
+            self.parent.children.remove(self)
+        watchers, self._exit_watchers = self._exit_watchers, []
+        for fn in watchers:
+            fn(self)
+        self.host._forget(self)
+
+    def exit(self, status: str = "exited") -> None:
+        """Voluntary termination (same teardown as :meth:`kill`)."""
+        self.kill(status=status)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else f"dead({self.exit_status})"
+        return f"<Process {self.name} pid={self.pid} on {self.host.name} {state}>"
+
+
+class Disk:
+    """Host-attached storage that survives process crashes and reboots.
+
+    The database service keeps its tables here; the MDS keeps movie files
+    here.  A *host* crash does not lose the disk (the paper's servers kept
+    their movies across reboots); only explicit :meth:`wipe` does.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Any] = {}
+
+    def read(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def write(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def delete(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def keys(self) -> List[str]:
+        return sorted(self._data.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def wipe(self) -> None:
+        self._data.clear()
+
+
+class Host:
+    """A machine: a server (SGI Challenge in the paper) or a settop.
+
+    ``host.crash()`` kills every process; ``host.boot()`` brings the host
+    back up and runs registered boot hooks (the cluster builder installs an
+    init hook that restarts the SSC, reproducing section 6.3 step 1).
+    """
+
+    def __init__(self, kernel: Kernel, name: str, kind: str = "server"):
+        self.kernel = kernel
+        self.name = name
+        self.kind = kind
+        self.ip: Optional[str] = None  # assigned when attached to a network
+        self.up = True
+        self.disk = Disk()
+        self.processes: List[Process] = []
+        self._boot_hooks: List[Callable[["Host"], None]] = []
+        self.boot_count = 1
+
+    def spawn(self, name: str, parent: Optional[Process] = None) -> Process:
+        if not self.up:
+            raise ProcessExit(f"host {self.name} is down")
+        proc = Process(self, name, parent=parent)
+        self.processes.append(proc)
+        return proc
+
+    def crash(self) -> None:
+        """Fail-stop the machine: every process dies at once."""
+        if not self.up:
+            return
+        self.up = False
+        for proc in list(self.processes):
+            proc.kill(status="host crashed")
+        self.processes = []
+
+    def boot(self) -> None:
+        """Bring a crashed host back up and run its boot hooks (init)."""
+        if self.up:
+            return
+        self.up = True
+        self.boot_count += 1
+        for hook in list(self._boot_hooks):
+            hook(self)
+
+    def add_boot_hook(self, fn: Callable[["Host"], None]) -> None:
+        self._boot_hooks.append(fn)
+
+    def find_process(self, name: str) -> Optional[Process]:
+        for proc in self.processes:
+            if proc.name == name and proc.alive:
+                return proc
+        return None
+
+    def _forget(self, proc: Process) -> None:
+        if proc in self.processes:
+            self.processes.remove(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "down"
+        return f"<Host {self.name} ({self.kind}) {state} ip={self.ip}>"

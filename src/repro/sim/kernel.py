@@ -1,0 +1,509 @@
+"""Virtual-time event loop with ``async``/``await`` support.
+
+The kernel is a classic discrete-event scheduler: a heap of
+``(time, sequence, callback)`` entries.  Time only advances when the heap
+is popped, so a million simulated seconds of idle polling costs only the
+poll events themselves.  Everything above this file -- the network, OCS,
+the name service, the ITV services -- is written as ordinary ``async``
+code awaiting :class:`Future` objects created here.
+
+Determinism: ties in time are broken by insertion sequence number, and all
+randomness in the simulation goes through :class:`repro.sim.rand.SeededRandom`,
+so two runs with the same seed produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.sim.errors import (
+    CancelledError,
+    InvalidStateError,
+    KernelStopped,
+    SimTimeoutError,
+)
+
+_PENDING = "PENDING"
+_DONE = "DONE"
+_CANCELLED = "CANCELLED"
+
+
+class Future:
+    """A write-once result container bound to a :class:`Kernel`.
+
+    Mirrors the asyncio future API closely enough that simulated services
+    read like ordinary async Python, but completion callbacks are scheduled
+    on the *virtual* clock (same timestamp, later sequence number).
+    """
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+        self._state = _PENDING
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+
+    @property
+    def kernel(self) -> "Kernel":
+        return self._kernel
+
+    def done(self) -> bool:
+        return self._state != _PENDING
+
+    def cancelled(self) -> bool:
+        return self._state == _CANCELLED
+
+    def result(self) -> Any:
+        if self._state == _CANCELLED:
+            raise CancelledError("future was cancelled")
+        if self._state == _PENDING:
+            raise InvalidStateError("result is not ready")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self) -> Optional[BaseException]:
+        if self._state == _CANCELLED:
+            raise CancelledError("future was cancelled")
+        if self._state == _PENDING:
+            raise InvalidStateError("result is not ready")
+        return self._exception
+
+    def set_result(self, value: Any) -> None:
+        if self._state != _PENDING:
+            raise InvalidStateError("future already completed")
+        self._state = _DONE
+        self._result = value
+        self._schedule_callbacks()
+
+    def set_exception(self, exc: BaseException) -> None:
+        if self._state != _PENDING:
+            raise InvalidStateError("future already completed")
+        if isinstance(exc, type):
+            exc = exc()
+        self._state = _DONE
+        self._exception = exc
+        self._schedule_callbacks()
+
+    def cancel(self) -> bool:
+        if self._state != _PENDING:
+            return False
+        self._state = _CANCELLED
+        self._schedule_callbacks()
+        return True
+
+    def add_done_callback(self, fn: Callable[["Future"], None]) -> None:
+        if self.done():
+            self._kernel.call_soon(fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def remove_done_callback(self, fn: Callable[["Future"], None]) -> int:
+        before = len(self._callbacks)
+        self._callbacks = [cb for cb in self._callbacks if cb is not fn]
+        return before - len(self._callbacks)
+
+    def _schedule_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self._kernel.call_soon(cb, self)
+
+    def __await__(self):
+        if not self.done():
+            yield self
+        return self.result()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Future {self._state} at t={self._kernel.now:.3f}>"
+
+
+class Task(Future):
+    """Drives a coroutine to completion on the kernel.
+
+    A task is itself a future completing with the coroutine's return value.
+    Cancelling a task throws :class:`CancelledError` into the coroutine at
+    its current await point -- this is how process death tears down a
+    service's internal loops.
+    """
+
+    def __init__(self, kernel: "Kernel", coro, name: str = "task"):
+        super().__init__(kernel)
+        self._coro = coro
+        self.name = name
+        self._waiting_on: Optional[Future] = None
+        self._must_cancel = False
+        kernel.call_soon(self._step)
+
+    def cancel(self) -> bool:
+        if self.done():
+            return False
+        if self._waiting_on is not None and not self._waiting_on.done():
+            # Interrupt the await: cancelling the inner future resumes us,
+            # and _wakeup converts the inner cancellation into one here.
+            self._must_cancel = True
+            self._waiting_on.cancel()
+        else:
+            self._must_cancel = True
+        return True
+
+    def _step(self, send_value: Any = None, exc: Optional[BaseException] = None) -> None:
+        if self.done():
+            return
+        if self._must_cancel:
+            exc = CancelledError(f"task {self.name!r} cancelled")
+            self._must_cancel = False
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                yielded = self._coro.throw(exc)
+            else:
+                yielded = self._coro.send(send_value)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except CancelledError:
+            self._finish(cancelled=True)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate into future
+            self._finish(exception=err)
+            return
+        if not isinstance(yielded, Future):
+            self._finish(
+                exception=RuntimeError(
+                    f"task {self.name!r} awaited a non-kernel awaitable: {yielded!r}"
+                )
+            )
+            return
+        self._waiting_on = yielded
+        yielded.add_done_callback(self._wakeup)
+
+    def _wakeup(self, fut: Future) -> None:
+        if self.done():
+            return
+        if fut.cancelled():
+            self._step(exc=CancelledError(f"task {self.name!r} cancelled"))
+            return
+        err = fut.exception()
+        if err is not None:
+            self._step(exc=err)
+        else:
+            self._step(send_value=fut.result())
+
+    def _finish(self, result: Any = None, exception: Optional[BaseException] = None,
+                cancelled: bool = False) -> None:
+        self._coro.close()
+        if cancelled:
+            Future.cancel(self)
+        elif exception is not None:
+            self.set_exception(exception)
+        else:
+            self.set_result(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Task {self.name!r} {self._state}>"
+
+
+class Kernel:
+    """The virtual-time event loop.
+
+    Use :meth:`create_task` to start coroutines, :meth:`run` to execute
+    until the event heap drains or ``until`` is reached, and :meth:`sleep`
+    / :meth:`wait_for` inside coroutines.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Any] = []
+        self._seq = 0
+        self._stopped = False
+        self._task_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    # -- scheduling ---------------------------------------------------
+
+    def call_at(self, when: float, fn: Callable, *args: Any) -> "TimerHandle":
+        if self._stopped:
+            raise KernelStopped("kernel has been stopped")
+        if when < self._now:
+            when = self._now
+        self._seq += 1
+        handle = TimerHandle(when, self._seq, fn, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> "TimerHandle":
+        return self.call_at(self._now + max(0.0, delay), fn, *args)
+
+    def call_soon(self, fn: Callable, *args: Any) -> "TimerHandle":
+        return self.call_at(self._now, fn, *args)
+
+    # -- tasks and futures --------------------------------------------
+
+    def create_future(self) -> Future:
+        return Future(self)
+
+    def create_task(self, coro, name: Optional[str] = None) -> Task:
+        self._task_count += 1
+        return Task(self, coro, name=name or f"task-{self._task_count}")
+
+    def sleep(self, delay: float) -> Future:
+        """Return a future completing ``delay`` simulated seconds from now."""
+        fut = self.create_future()
+        self.call_later(delay, _set_result_if_pending, fut, None)
+        return fut
+
+    def wait_for(self, awaitable, timeout: float) -> Future:
+        """Await ``awaitable`` with a deadline.
+
+        Completes with the awaitable's result, or fails with
+        :class:`SimTimeoutError` (cancelling the awaitable) when the
+        deadline passes first.
+        """
+        inner = self.ensure_future(awaitable)
+        outer = self.create_future()
+
+        def on_timeout() -> None:
+            if outer.done():
+                return
+            inner.cancel()
+            outer.set_exception(SimTimeoutError(f"timed out after {timeout}s"))
+
+        handle = self.call_later(timeout, on_timeout)
+
+        def on_done(fut: Future) -> None:
+            handle.cancel()
+            if outer.done():
+                return
+            if fut.cancelled():
+                outer.cancel()
+            elif fut.exception() is not None:
+                outer.set_exception(fut.exception())
+            else:
+                outer.set_result(fut.result())
+
+        inner.add_done_callback(on_done)
+        return outer
+
+    def ensure_future(self, awaitable) -> Future:
+        if isinstance(awaitable, Future):
+            return awaitable
+        return self.create_task(awaitable)
+
+    # -- running ------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the heap drains or ``until`` is reached.
+
+        Returns the simulated time at which the run stopped.  When
+        ``until`` is given, time is advanced to exactly ``until`` even if
+        the last event fired earlier (so repeated ``run(until=...)`` calls
+        observe a monotone clock).
+        """
+        while self._heap and not self._stopped:
+            handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and handle.when > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = handle.when
+            handle.fn(*handle.args)
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        return self._now
+
+    def run_until_complete(self, awaitable, limit: float = 1e12) -> Any:
+        """Run the loop until ``awaitable`` finishes; return its result."""
+        fut = self.ensure_future(awaitable)
+        while not fut.done():
+            if not self._heap:
+                raise RuntimeError("event loop ran dry before future completed")
+            if self._now > limit:
+                raise SimTimeoutError(f"run_until_complete exceeded t={limit}")
+            self.run_one()
+        return fut.result()
+
+    def run_one(self) -> None:
+        """Process a single (non-cancelled) event."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = handle.when
+            handle.fn(*handle.args)
+            return
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def pending_events(self) -> int:
+        return sum(1 for h in self._heap if not h.cancelled)
+
+
+class TimerHandle:
+    """A cancellable scheduled callback, orderable for the event heap."""
+
+    __slots__ = ("when", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, when: float, seq: int, fn: Callable, args: tuple):
+        self.when = when
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "TimerHandle") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+
+def _set_result_if_pending(fut: Future, value: Any) -> None:
+    if not fut.done():
+        fut.set_result(value)
+
+
+def gather(kernel: Kernel, awaitables: Iterable, return_exceptions: bool = False) -> Future:
+    """Await several awaitables; complete with the list of their results.
+
+    With ``return_exceptions`` the result list holds exception objects for
+    the entries that failed; otherwise the first failure fails the gather
+    (remaining tasks keep running, as in asyncio).
+    """
+    futs = [kernel.ensure_future(a) for a in awaitables]
+    outer = kernel.create_future()
+    if not futs:
+        outer.set_result([])
+        return outer
+    remaining = [len(futs)]
+
+    def on_done(_fut: Future) -> None:
+        remaining[0] -= 1
+        if outer.done():
+            return
+        if not return_exceptions:
+            if _fut.cancelled():
+                outer.set_exception(CancelledError("gathered task cancelled"))
+                return
+            if _fut.exception() is not None:
+                outer.set_exception(_fut.exception())
+                return
+        if remaining[0] == 0:
+            results = []
+            for f in futs:
+                if f.cancelled():
+                    results.append(CancelledError("cancelled"))
+                elif f.exception() is not None:
+                    results.append(f.exception())
+                else:
+                    results.append(f.result())
+            outer.set_result(results)
+
+    for f in futs:
+        f.add_done_callback(on_done)
+    return outer
+
+
+class Event:
+    """A level-triggered event: awaiting :meth:`wait` parks until set."""
+
+    def __init__(self, kernel: Kernel):
+        self._kernel = kernel
+        self._set = False
+        self._waiters: List[Future] = []
+
+    def is_set(self) -> bool:
+        return self._set
+
+    def set(self) -> None:
+        if self._set:
+            return
+        self._set = True
+        waiters, self._waiters = self._waiters, []
+        for fut in waiters:
+            if not fut.done():
+                fut.set_result(True)
+
+    def clear(self) -> None:
+        self._set = False
+
+    async def wait(self) -> bool:
+        if self._set:
+            return True
+        fut = self._kernel.create_future()
+        self._waiters.append(fut)
+        return await fut
+
+
+class Queue:
+    """An unbounded FIFO queue for task-to-task handoff."""
+
+    def __init__(self, kernel: Kernel):
+        self._kernel = kernel
+        self._items: List[Any] = []
+        self._getters: List[Future] = []
+
+    def put(self, item: Any) -> None:
+        while self._getters:
+            fut = self._getters.pop(0)
+            if not fut.done():
+                fut.set_result(item)
+                return
+        self._items.append(item)
+
+    async def get(self) -> Any:
+        if self._items:
+            return self._items.pop(0)
+        fut = self._kernel.create_future()
+        self._getters.append(fut)
+        return await fut
+
+    def qsize(self) -> int:
+        return len(self._items)
+
+    def empty(self) -> bool:
+        return not self._items
+
+
+class Semaphore:
+    """A counting semaphore; used to model bounded server resources."""
+
+    def __init__(self, kernel: Kernel, value: int):
+        if value < 0:
+            raise ValueError("semaphore value must be >= 0")
+        self._kernel = kernel
+        self._value = value
+        self._waiters: List[Future] = []
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    async def acquire(self) -> None:
+        if self._value > 0 and not self._waiters:
+            self._value -= 1
+            return
+        fut = self._kernel.create_future()
+        self._waiters.append(fut)
+        await fut
+
+    def try_acquire(self) -> bool:
+        if self._value > 0 and not self._waiters:
+            self._value -= 1
+            return True
+        return False
+
+    def release(self) -> None:
+        while self._waiters:
+            fut = self._waiters.pop(0)
+            if not fut.done():
+                fut.set_result(None)
+                return
+        self._value += 1

@@ -1,0 +1,79 @@
+"""Seeded randomness for reproducible simulations.
+
+Every stochastic choice in the simulation (workload arrivals, crash times,
+jitter) draws from a :class:`SeededRandom` owned by the scenario, never
+from the global :mod:`random` state, so a seed fully determines a run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SeededRandom:
+    """A thin wrapper around :class:`random.Random` with named substreams.
+
+    Substreams let independent components (workload vs failure injection)
+    draw from uncorrelated generators derived from one master seed, so
+    adding draws in one component does not perturb the other.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._streams: dict = {}
+
+    def stream(self, name: str) -> "SeededRandom":
+        """Return (creating if needed) the named substream.
+
+        Derivation uses a stable digest, not ``hash()``, so runs are
+        reproducible across interpreter invocations (PYTHONHASHSEED).
+        """
+        if name not in self._streams:
+            digest = hashlib.md5(f"{self.seed}:{name}".encode()).hexdigest()
+            self._streams[name] = SeededRandom(int(digest[:8], 16))
+        return self._streams[name]
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._rng.uniform(low, high)
+
+    def expovariate(self, rate: float) -> float:
+        return self._rng.expovariate(rate)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._rng.randint(low, high)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._rng.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> List[T]:
+        return self._rng.sample(seq, k)
+
+    def shuffle(self, seq: list) -> None:
+        self._rng.shuffle(seq)
+
+    def zipf_index(self, n: int, skew: float = 1.0) -> int:
+        """Draw an index in ``[0, n)`` with Zipf(skew) popularity.
+
+        Used for movie popularity: a handful of titles (the "T2"s of the
+        catalog) absorb most open requests, which is what makes the
+        recovery-storm experiment (paper section 8.2) interesting.
+        """
+        if n <= 0:
+            raise ValueError("zipf_index needs n >= 1")
+        weights = [1.0 / ((i + 1) ** skew) for i in range(n)]
+        total = sum(weights)
+        target = self._rng.random() * total
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if target <= acc:
+                return i
+        return n - 1

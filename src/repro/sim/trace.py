@@ -1,0 +1,68 @@
+"""Structured event tracing for simulations.
+
+A :class:`TraceLog` collects ``(time, category, event, fields)`` tuples.
+Benchmarks and availability analysis consume these instead of scraping
+stdout; tests assert on them to check exact mechanism behaviour (e.g. the
+sequence of bind-retry failures before a backup takes over).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.sim.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    category: str
+    event: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kv = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time:10.3f}] {self.category}.{self.event} {kv}"
+
+
+class TraceLog:
+    """An append-only trace with simple category/event filtering."""
+
+    def __init__(self, kernel: Kernel, enabled: bool = True):
+        self._kernel = kernel
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+
+    def emit(self, category: str, event: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        self.events.append(TraceEvent(self._kernel.now, category, event, fields))
+
+    def select(self, category: Optional[str] = None,
+               event: Optional[str] = None, **field_filters: Any) -> List[TraceEvent]:
+        """Return events matching category, event name, and field values."""
+        out = []
+        for ev in self.events:
+            if category is not None and ev.category != category:
+                continue
+            if event is not None and ev.event != event:
+                continue
+            if any(ev.fields.get(k) != v for k, v in field_filters.items()):
+                continue
+            out.append(ev)
+        return out
+
+    def count(self, category: Optional[str] = None, event: Optional[str] = None) -> int:
+        return len(self.select(category=category, event=event))
+
+    def last(self, category: Optional[str] = None,
+             event: Optional[str] = None) -> Optional[TraceEvent]:
+        matches = self.select(category=category, event=event)
+        return matches[-1] if matches else None
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,5 @@
+"""Synthetic viewer workloads (substitute for the Orlando trial traces)."""
+
+from repro.workloads.sessions import SessionStats, ViewerSession, run_viewers
+
+__all__ = ["SessionStats", "ViewerSession", "run_viewers"]

@@ -1,0 +1,12 @@
+"""Shared fixtures."""
+
+import pytest
+
+from tests.helpers import NsWorld
+
+
+@pytest.fixture
+def ns_world():
+    world = NsWorld()
+    assert world.settle() is not None
+    return world

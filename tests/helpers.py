@@ -1,0 +1,107 @@
+"""Test helpers: small clusters for name service / OCS level tests."""
+
+from repro.core.naming import start_name_replica
+from repro.core.params import Params
+from repro.net import Network, server_ip, settop_ip
+from repro.sim import Host, Kernel, SeededRandom
+from repro.sim.trace import TraceLog
+
+
+class NsWorld:
+    """A kernel + network + N servers, each running a name replica."""
+
+    def __init__(self, n_servers=3, params=None, seed=7):
+        self.kernel = Kernel()
+        self.net = Network(self.kernel)
+        self.params = params or Params()
+        self.rng = SeededRandom(seed)
+        self.trace = TraceLog(self.kernel)
+        self.hosts = []
+        self.replicas = {}
+        ips = [server_ip(i) for i in range(n_servers)]
+        self.replica_ips = ips
+        for i in range(n_servers):
+            host = Host(self.kernel, f"server-{i}")
+            self.net.attach(host, ips[i])
+            self.hosts.append(host)
+        for host in self.hosts:
+            self.start_replica(host)
+
+    def start_replica(self, host):
+        replica = start_name_replica(
+            host, self.net, self.params, self.replica_ips,
+            rng=self.rng.stream(f"ns-{host.ip}"), trace=self.trace)
+        self.replicas[host.ip] = replica
+        return replica
+
+    def settle(self, duration=15.0):
+        """Run long enough for a master election to complete."""
+        self.kernel.run(until=self.kernel.now + duration)
+        return self.master()
+
+    def master(self):
+        masters = [r for r in self.replicas.values()
+                   if r.role == "master" and r.process.alive]
+        return masters[0] if masters else None
+
+    def client(self, host, name="client"):
+        """A fresh client process + runtime + NameClient on ``host``."""
+        from repro.core.naming import NameClient
+        from repro.ocs import OCSRuntime
+        proc = host.spawn(name)
+        runtime = OCSRuntime(proc, self.net)
+        return proc, runtime, NameClient(runtime, host.ip, self.params)
+
+    def run_async(self, coro, limit=1e9):
+        return self.kernel.run_until_complete(coro, limit=limit)
+
+
+
+
+# ---------------------------------------------------------------------------
+# Toy services used by cluster-level tests
+# ---------------------------------------------------------------------------
+
+from repro.core.replication import PrimaryBackupBinder  # noqa: E402
+from repro.idl import register_interface  # noqa: E402
+from repro.services.base import Service  # noqa: E402
+
+register_interface("PingService", {
+    "ping": (),
+    "whoami": (),
+}, doc="toy service for cluster tests")
+
+
+class PingService(Service):
+    """Active-replica toy service: binds svc/ping/<server-ip>."""
+
+    service_name = "ping"
+
+    async def start(self):
+        self.ref = self.runtime.export(_PingServant(self), "PingService")
+        await self.register_objects([self.ref])
+        await self.bind_as_replica("ping", self.host.ip, self.ref,
+                                   selector="sameserver")
+
+
+class PBPingService(Service):
+    """Primary/backup toy service racing for svc/pbping."""
+
+    service_name = "pbping"
+
+    async def start(self):
+        self.ref = self.runtime.export(_PingServant(self), "PingService")
+        await self.register_objects([self.ref])
+        self.binder = PrimaryBackupBinder(self, "svc/pbping", self.ref)
+        self.spawn_task(self.binder.run(), name="pb-binder")
+
+
+class _PingServant:
+    def __init__(self, svc):
+        self._svc = svc
+
+    async def ping(self, ctx):
+        return "pong"
+
+    async def whoami(self, ctx):
+        return self._svc.host.ip

@@ -1,0 +1,132 @@
+"""Unit + integration tests for the authentication service (section 3.3)."""
+
+import pytest
+
+from repro.auth.tickets import Ticket, sign_ticket, verify_ticket
+from repro.auth.service import AuthRefused, enable_signing, install_verifier
+from repro.cluster import build_cluster
+from repro.ocs import AuthError, OCSRuntime
+
+SECRET = b"test-secret"
+
+
+class TestTickets:
+    def test_round_trip(self):
+        ticket = sign_ticket(SECRET, "alice", issued_at=0.0, lifetime=100.0)
+        assert verify_ticket(SECRET, ticket, now=50.0,
+                             expected_principal="alice")
+
+    def test_expired_rejected(self):
+        ticket = sign_ticket(SECRET, "alice", issued_at=0.0, lifetime=100.0)
+        assert not verify_ticket(SECRET, ticket, now=101.0,
+                                 expected_principal="alice")
+
+    def test_wrong_principal_rejected(self):
+        ticket = sign_ticket(SECRET, "alice", issued_at=0.0, lifetime=100.0)
+        assert not verify_ticket(SECRET, ticket, now=1.0,
+                                 expected_principal="mallory")
+
+    def test_tampered_signature_rejected(self):
+        ticket = sign_ticket(SECRET, "alice", issued_at=0.0, lifetime=100.0)
+        forged = Ticket(principal=ticket.principal,
+                        issued_at=ticket.issued_at,
+                        expires_at=ticket.expires_at + 10_000,
+                        signature=ticket.signature)
+        assert not verify_ticket(SECRET, forged, now=1.0,
+                                 expected_principal="alice")
+
+    def test_wrong_key_rejected(self):
+        ticket = sign_ticket(SECRET, "alice", issued_at=0.0, lifetime=100.0)
+        assert not verify_ticket(b"other-key", ticket, now=1.0,
+                                 expected_principal="alice")
+
+    def test_non_ticket_rejected(self):
+        assert not verify_ticket(SECRET, "garbage", now=0.0,
+                                 expected_principal="alice")
+
+
+class TestAuthService:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        return build_cluster(n_servers=2, seed=31)
+
+    def test_ticket_issued_for_own_identity(self, cluster):
+        client = cluster.client_on(cluster.servers[0], name="alice")
+
+        async def get():
+            auth = await client.names.resolve("svc/auth")
+            return await client.runtime.invoke(
+                auth, "getTicket", (client.runtime.principal,))
+
+        ticket = cluster.run_async(get())
+        assert isinstance(ticket, Ticket)
+        assert ticket.principal == client.runtime.principal
+
+    def test_cannot_impersonate(self, cluster):
+        client = cluster.client_on(cluster.servers[0], name="mallory")
+
+        async def get():
+            auth = await client.names.resolve("svc/auth")
+            return await client.runtime.invoke(auth, "getTicket",
+                                               ("somebody-else",))
+
+        with pytest.raises(AuthRefused):
+            cluster.run_async(get())
+
+    def test_renewal(self, cluster):
+        client = cluster.client_on(cluster.servers[0], name="renewer")
+
+        async def flow():
+            auth = await client.names.resolve("svc/auth")
+            first = await client.runtime.invoke(
+                auth, "getTicket", (client.runtime.principal,))
+            return await client.runtime.invoke(auth, "renewTicket", (first,))
+
+        renewed = cluster.run_async(flow())
+        assert renewed.principal == client.runtime.principal
+
+    def test_verifier_rejects_unsigned_calls(self, cluster):
+        """A servant with the verifier installed refuses anonymous calls."""
+        from repro.idl import register_interface
+        register_interface("SecuredEcho", {"echo": ("v",)})
+
+        class Servant:
+            async def echo(self, ctx, v):
+                return (v, ctx.authenticated)
+
+        secret = cluster.cluster_config["auth_secret"]
+        server_proc = cluster.servers[1].spawn("secured")
+        server_rt = OCSRuntime(server_proc, cluster.net)
+        install_verifier(server_rt, secret)
+        ref = server_rt.export(Servant(), "SecuredEcho")
+
+        client = cluster.client_on(cluster.servers[0], name="anon")
+        with pytest.raises(AuthError):
+            cluster.run_async(client.runtime.invoke(ref, "echo", ("hi",)))
+
+    def test_signed_calls_accepted(self, cluster):
+        from repro.idl import register_interface
+        register_interface("SecuredEcho2", {"echo": ("v",)})
+
+        class Servant:
+            async def echo(self, ctx, v):
+                return (v, ctx.authenticated)
+
+        secret = cluster.cluster_config["auth_secret"]
+        server_proc = cluster.servers[1].spawn("secured2")
+        server_rt = OCSRuntime(server_proc, cluster.net)
+        install_verifier(server_rt, secret)
+        ref = server_rt.export(Servant(), "SecuredEcho2")
+
+        client = cluster.client_on(cluster.servers[0], name="signer")
+
+        async def flow():
+            auth = await client.names.resolve("svc/auth")
+            ticket = await client.runtime.invoke(
+                auth, "getTicket", (client.runtime.principal,))
+            enable_signing(client.runtime, ticket)
+            return await client.runtime.invoke(ref, "echo", ("hi",))
+
+        value, authenticated = cluster.run_async(flow())
+        assert value == "hi"
+        assert authenticated

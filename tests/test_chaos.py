@@ -1,0 +1,104 @@
+"""Chaos test: random fault injection under live load, then invariants.
+
+The strongest availability statement the system can make is not any
+single scenario but this: after an arbitrary storm of process kills and
+a server crash/reboot, with viewers active throughout, the cluster
+settles back to a state where every structural invariant holds --
+exactly one name-service master, no leaked circuits, placement
+satisfied, and a new viewer gets full service.
+"""
+
+import pytest
+
+from repro.cluster import build_full_cluster
+from repro.sim.rand import SeededRandom
+from repro.workloads import run_viewers
+
+KILLABLE = ["mds", "rds", "mms", "cmgr", "vod", "shopping", "game",
+            "ras", "settopmgr", "db", "fileservice", "boot", "kbs"]
+
+
+def run_chaos(seed: int):
+    cluster = build_full_cluster(n_servers=3, seed=seed)
+    rng = SeededRandom(seed).stream("chaos")
+    kernels = [cluster.add_settop_kernel(n) for n in cluster.neighborhoods]
+    assert cluster.boot_settops(kernels, timeout=300.0)
+
+    # Viewers run concurrently with the fault storm.
+    from repro.workloads.sessions import ViewerSession
+    sessions = [ViewerSession(cluster, stk, rng.stream(f"v{i}"))
+                for i, stk in enumerate(kernels)]
+    for i, s in enumerate(sessions):
+        cluster.kernel.create_task(s.run(400.0), name=f"chaos-viewer-{i}")
+
+    # The storm: a kill every ~15 s, one server crash, one reboot.
+    crash_done = False
+    for round_no in range(20):
+        cluster.run_for(15.0)
+        roll = rng.random()
+        if roll < 0.15 and not crash_done:
+            victim = rng.randint(0, 2)
+            cluster.crash_server(victim)
+            crash_done = True
+            crash_victim = victim
+        elif roll < 0.2 and crash_done:
+            cluster.reboot_server(crash_victim)
+            crash_done = False
+        else:
+            service = rng.choice(KILLABLE)
+            server = rng.randint(0, 2)
+            cluster.kill_service(server, service)
+    if crash_done:
+        cluster.reboot_server(crash_victim)
+
+    # Quiesce: stop viewers, let restarts/fail-overs/reconciles finish.
+    for stk in kernels:
+        app = stk.app_manager.current_app if stk.app_manager else None
+        if app is not None and getattr(app, "movie", None) is not None:
+            cluster.run_async(app.stop())
+    cluster.run_for(3 * cluster.params.max_failover + 60.0)
+    return cluster, kernels, sessions
+
+
+@pytest.mark.parametrize("seed", [1009, 2025])
+def test_chaos_invariants(seed):
+    cluster, kernels, sessions = run_chaos(seed)
+
+    # Invariant 1: exactly one name-service master.
+    masters = []
+    for host in cluster.servers:
+        proc = host.find_process("ns")
+        if proc is not None and "ns_replica" in proc.attachments:
+            replica = proc.attachments["ns_replica"]
+            if replica.role == "master":
+                masters.append(replica.ip)
+    assert len(masters) == 1, masters
+
+    # Invariant 2: no leaked circuits on any settop downlink after all
+    # sessions stopped their movies and the audits ran.
+    leaked = {stk.host.ip: cluster.net.downlink_of(stk.host.ip).reserved_bps
+              for stk in kernels
+              if cluster.net.downlink_of(stk.host.ip).reserved_bps > 0}
+    assert leaked == {}, leaked
+
+    # Invariant 3: the CSC has re-satisfied the placement everywhere.
+    services = cluster.running_services()
+    for host in cluster.servers:
+        for svc in ("mds", "rds", "cmgr", "vod", "ns", "ras"):
+            assert svc in services[host.name], (host.name, svc,
+                                                services[host.name])
+
+    # Invariant 4: the system still serves: a brand-new settop boots,
+    # downloads an app, and plays a movie end to end.
+    stk = cluster.add_settop_kernel(1)
+    assert cluster.boot_settops([stk], timeout=120.0)
+    cluster.run_async(stk.app_manager.tune(5))
+    vod = stk.app_manager.current_app
+    cluster.run_async(vod.play("T2"))
+    cluster.run_for(10.0)
+    assert vod.playing and vod.chunks_received >= 8
+
+    # And the viewers actually exercised the system during the storm.
+    total_ops = sum(s.stats.opens + s.stats.orders + s.stats.game_rounds
+                    for s in sessions)
+    assert total_ops >= 10

@@ -1,0 +1,58 @@
+"""Every shipped example must run to completion (they are the docs)."""
+
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def _examples_importable():
+    root = str(EXAMPLES_DIR.parent)
+    if root not in sys.path:
+        sys.path.insert(0, root)
+    yield
+
+
+def run_example(module_name: str, argv=None) -> str:
+    import importlib
+    if argv is not None:
+        sys.argv = [module_name] + list(argv)
+    module = importlib.import_module(f"examples.{module_name}")
+    importlib.reload(module)   # fresh kernel/cluster per invocation
+    module.main()
+    return module_name
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart")
+        out = capsys.readouterr().out
+        assert "circuit released" in out
+
+    def test_failover_drill(self, capsys):
+        run_example("failover_drill")
+        out = capsys.readouterr().out
+        assert "All three section 3.5 scenarios covered" in out
+
+    def test_operator_console(self, capsys):
+        run_example("operator_console")
+        out = capsys.readouterr().out
+        assert "all servers up: True" in out
+
+    def test_availability_report(self, capsys):
+        run_example("availability_report")
+        out = capsys.readouterr().out
+        assert "availability:" in out
+
+    def test_name_service_tour(self, capsys):
+        run_example("name_service_tour")
+        out = capsys.readouterr().out
+        assert "Tour complete" in out
+
+    def test_busy_evening_small(self, capsys):
+        run_example("busy_evening", argv=["1"])
+        out = capsys.readouterr().out
+        assert "movie opens:" in out

@@ -1,0 +1,121 @@
+"""Unit tests for the IDL layer: declarations, subtyping, marshal sizes."""
+
+import pytest
+
+from repro.idl import (
+    MethodDef,
+    estimated_size,
+    lookup_interface,
+    register_exception,
+    register_interface,
+    resolve_exception,
+)
+from repro.idl.errors import (
+    DuplicateInterface,
+    NoSuchMethod,
+    SignatureError,
+    UnknownInterface,
+)
+from repro.ocs.objref import ObjectRef
+
+register_interface("IdlBase", {"ping": (), "add": ("a", "b")})
+register_interface("IdlDerived", {"extra": ("x",)}, base="IdlBase")
+
+
+class TestInterfaces:
+    def test_lookup_registered(self):
+        iface = lookup_interface("IdlBase")
+        assert iface.name == "IdlBase"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(UnknownInterface):
+            lookup_interface("Nope")
+
+    def test_method_lookup(self):
+        iface = lookup_interface("IdlBase")
+        assert iface.method("add").params == ("a", "b")
+
+    def test_missing_method_raises(self):
+        with pytest.raises(NoSuchMethod):
+            lookup_interface("IdlBase").method("frob")
+
+    def test_inherited_method_found(self):
+        derived = lookup_interface("IdlDerived")
+        assert derived.method("ping").name == "ping"
+        assert derived.method("extra").params == ("x",)
+
+    def test_is_a_subtype(self):
+        derived = lookup_interface("IdlDerived")
+        assert derived.is_a("IdlBase")
+        assert derived.is_a("IdlDerived")
+        assert not lookup_interface("IdlBase").is_a("IdlDerived")
+
+    def test_all_methods_merges_chain(self):
+        methods = lookup_interface("IdlDerived").all_methods()
+        assert set(methods) >= {"ping", "add", "extra"}
+
+    def test_arity_check(self):
+        mdef = lookup_interface("IdlBase").method("add")
+        mdef.check_args((1, 2))
+        with pytest.raises(SignatureError):
+            mdef.check_args((1,))
+
+    def test_idempotent_reregistration(self):
+        again = register_interface("IdlBase", {"ping": (), "add": ("a", "b")})
+        assert again is lookup_interface("IdlBase")
+
+    def test_conflicting_redefinition_rejected(self):
+        with pytest.raises(DuplicateInterface):
+            register_interface("IdlBase", {"ping": (), "other": ()})
+
+    def test_oneway_methoddef(self):
+        register_interface("IdlOneway", {
+            "notify": MethodDef("notify", ("event",), oneway=True)})
+        assert lookup_interface("IdlOneway").method("notify").oneway
+
+
+class TestExceptionRegistry:
+    def test_registered_resolvable(self):
+        @register_exception
+        class IdlTestError(Exception):
+            pass
+
+        assert resolve_exception("IdlTestError") is IdlTestError
+
+    def test_unregistered_returns_none(self):
+        assert resolve_exception("TotallyUnknownError") is None
+
+
+class TestEstimatedSize:
+    def test_scalars(self):
+        assert estimated_size(None) == 1
+        assert estimated_size(True) == 1
+        assert estimated_size(42) == 8
+        assert estimated_size(3.14) == 8
+
+    def test_string_scales_with_length(self):
+        assert estimated_size("abc") == 4 + 3
+        assert estimated_size("a" * 100) == 4 + 100
+
+    def test_bytes(self):
+        assert estimated_size(b"x" * 1000) == 4 + 1000
+
+    def test_containers_sum_members(self):
+        assert estimated_size([1, 2, 3]) == 4 + 24
+        assert estimated_size({"k": 1}) == 4 + (4 + 1) + 8
+
+    def test_objref_uses_hint(self):
+        ref = ObjectRef(ip="1.2.3.4", port=1, incarnation=(0.0, 1),
+                        type_id="IdlBase")
+        assert estimated_size(ref) == 64
+
+    def test_blob_uses_declared_size(self):
+        from repro.services.data import Blob
+        blob = Blob(name="app", size=2_000_000)
+        assert estimated_size(blob) == 2_000_000
+
+    def test_nested_structure(self):
+        value = {"refs": [ObjectRef(ip="1.1.1.1", port=1,
+                                    incarnation=(0.0, 1),
+                                    type_id="IdlBase")] * 3}
+        assert estimated_size(value) > 3 * 64

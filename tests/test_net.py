@@ -1,0 +1,249 @@
+"""Unit tests for the network substrate: links, addressing, delivery."""
+
+import pytest
+
+from repro.net import (
+    Link,
+    Message,
+    Network,
+    ReservationError,
+    neighborhood_of,
+    server_ip,
+    settop_ip,
+)
+from repro.net.address import is_server_ip, is_settop_ip
+from repro.sim import Host, Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def net(kernel):
+    return Network(kernel)
+
+
+def make_server(kernel, net, index):
+    host = Host(kernel, f"server-{index}")
+    net.attach(host, server_ip(index))
+    return host
+
+
+def make_settop(kernel, net, neighborhood, unit):
+    host = Host(kernel, f"settop-{neighborhood}-{unit}", kind="settop")
+    net.attach(host, settop_ip(neighborhood, unit))
+    return host
+
+
+class TestAddressing:
+    def test_server_ip_format(self):
+        assert server_ip(0) == "192.26.65.1"
+        assert server_ip(1) == "192.26.65.2"
+
+    def test_settop_ip_encodes_neighborhood(self):
+        ip = settop_ip(3, 7)
+        assert neighborhood_of(ip) == 3
+
+    def test_neighborhood_of_server_raises(self):
+        with pytest.raises(ValueError):
+            neighborhood_of(server_ip(0))
+
+    def test_is_server_is_settop(self):
+        assert is_server_ip(server_ip(0))
+        assert not is_server_ip(settop_ip(0, 0))
+        assert is_settop_ip(settop_ip(0, 0))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            server_ip(500)
+        with pytest.raises(ValueError):
+            settop_ip(300, 0)
+
+
+class TestLink:
+    def test_serialization_time(self, kernel):
+        link = Link(kernel, rate_bps=8_000_000)  # 1 MByte/s
+        assert link.serialization_time(1_000_000) == pytest.approx(1.0)
+
+    def test_back_to_back_messages_queue(self, kernel):
+        link = Link(kernel, rate_bps=8_000, latency=0.0)
+        first = link.occupy(1_000)   # 1 second of serialization
+        second = link.occupy(1_000)  # queues behind the first
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(2.0)
+
+    def test_latency_added(self, kernel):
+        link = Link(kernel, rate_bps=8_000_000, latency=0.25)
+        assert link.occupy(1_000) == pytest.approx(0.001 + 0.25)
+
+    def test_reservation_admission_control(self, kernel):
+        link = Link(kernel, rate_bps=6_000_000)
+        link.reserve("movie-1", 4_000_000)
+        with pytest.raises(ReservationError):
+            link.reserve("movie-2", 4_000_000)
+        link.release("movie-1")
+        link.reserve("movie-2", 4_000_000)
+
+    def test_duplicate_reservation_key_rejected(self, kernel):
+        link = Link(kernel, rate_bps=6_000_000)
+        link.reserve("m", 1_000_000)
+        with pytest.raises(ReservationError):
+            link.reserve("m", 1_000_000)
+
+    def test_release_unknown_key(self, kernel):
+        link = Link(kernel, rate_bps=1_000)
+        assert not link.release("ghost")
+
+    def test_reservations_slow_datagrams(self, kernel):
+        link = Link(kernel, rate_bps=8_000_000, latency=0.0)
+        base = link.serialization_time(1_000_000)
+        link.reserve("movie", 4_000_000)
+        assert link.serialization_time(1_000_000) == pytest.approx(base * 2)
+
+
+class TestDelivery:
+    def test_message_delivered_to_bound_port(self, kernel, net):
+        a = make_server(kernel, net, 0)
+        b = make_server(kernel, net, 1)
+        received = []
+        net.bind_port(b.ip, 7000, received.append)
+        net.send(Message(src=(a.ip, 1), dst=(b.ip, 7000), kind="test",
+                         payload="hello", payload_bytes=100))
+        kernel.run()
+        assert len(received) == 1
+        assert received[0].payload == "hello"
+
+    def test_unbound_port_triggers_unreachable(self, kernel, net):
+        a = make_server(kernel, net, 0)
+        b = make_server(kernel, net, 1)
+        received = []
+        net.bind_port(a.ip, 1, received.append)
+        net.send(Message(src=(a.ip, 1), dst=(b.ip, 9999), kind="test"))
+        kernel.run()
+        assert len(received) == 1
+        assert received[0].kind == "port_unreachable"
+
+    def test_down_host_drops_silently(self, kernel, net):
+        a = make_server(kernel, net, 0)
+        b = make_server(kernel, net, 1)
+        received = []
+        net.bind_port(a.ip, 1, received.append)
+        b.crash()
+        net.send(Message(src=(a.ip, 1), dst=(b.ip, 7000), kind="test"))
+        kernel.run()
+        assert received == []
+        assert net.messages_dropped == 1
+
+    def test_host_dying_in_flight_drops(self, kernel, net):
+        a = make_server(kernel, net, 0)
+        b = make_settop(kernel, net, 0, 0)
+        received = []
+        net.bind_port(b.ip, 7000, received.append)
+        # Large payload so the message is still in flight when b crashes.
+        net.send(Message(src=(a.ip, 1), dst=(b.ip, 7000), kind="big",
+                         payload_bytes=600_000))
+        kernel.call_later(0.01, b.crash)
+        kernel.run()
+        assert received == []
+
+    def test_partition_blocks_both_directions(self, kernel, net):
+        a = make_server(kernel, net, 0)
+        b = make_server(kernel, net, 1)
+        got_a, got_b = [], []
+        net.bind_port(a.ip, 1, got_a.append)
+        net.bind_port(b.ip, 1, got_b.append)
+        net.partition({a.ip}, {b.ip})
+        net.send(Message(src=(a.ip, 1), dst=(b.ip, 1), kind="x"))
+        net.send(Message(src=(b.ip, 1), dst=(a.ip, 1), kind="x"))
+        kernel.run()
+        assert got_a == [] and got_b == []
+        net.heal_partitions()
+        net.send(Message(src=(a.ip, 1), dst=(b.ip, 1), kind="x"))
+        kernel.run()
+        assert len(got_b) == 1
+
+    def test_settop_download_takes_bandwidth_time(self, kernel, net):
+        server = make_server(kernel, net, 0)
+        settop = make_settop(kernel, net, 0, 0)
+        arrival = []
+        net.bind_port(settop.ip, 7000, lambda m: arrival.append(kernel.now))
+        # 1.5 MByte at 6 Mbit/s -> ~2 seconds on the settop downlink, plus
+        # the store-and-forward hop across the server's FDDI interface.
+        net.send(Message(src=(server.ip, 1), dst=(settop.ip, 7000),
+                         kind="download", payload_bytes=1_500_000))
+        kernel.run()
+        assert arrival[0] == pytest.approx(2.0, rel=0.1)
+
+    def test_settop_uplink_is_slow(self, kernel, net):
+        server = make_server(kernel, net, 0)
+        settop = make_settop(kernel, net, 0, 0)
+        arrival = []
+        net.bind_port(server.ip, 7000, lambda m: arrival.append(kernel.now))
+        # 50 kbit/s uplink: 6250 bytes take 1 second.
+        net.send(Message(src=(settop.ip, 1), dst=(server.ip, 7000),
+                         kind="upload", payload_bytes=6250 - 256))
+        kernel.run()
+        assert arrival[0] == pytest.approx(1.0, rel=0.02)
+
+    def test_kind_counters(self, kernel, net):
+        a = make_server(kernel, net, 0)
+        b = make_server(kernel, net, 1)
+        net.bind_port(b.ip, 1, lambda m: None)
+        for _ in range(3):
+            net.send(Message(src=(a.ip, 1), dst=(b.ip, 1), kind="ras.poll"))
+        net.send(Message(src=(a.ip, 1), dst=(b.ip, 1), kind="rpc.call"))
+        kernel.run()
+        assert net.sent_by_kind["ras.poll"] == 3
+        assert net.count_kind("ras.") == 3
+
+    def test_duplicate_attach_rejected(self, kernel, net):
+        make_server(kernel, net, 0)
+        other = Host(kernel, "dup")
+        with pytest.raises(ValueError):
+            net.attach(other, server_ip(0))
+
+    def test_loopback_is_fast(self, kernel, net):
+        a = make_server(kernel, net, 0)
+        arrival = []
+        net.bind_port(a.ip, 5, lambda m: arrival.append(kernel.now))
+        net.send(Message(src=(a.ip, 1), dst=(a.ip, 5), kind="local",
+                         payload_bytes=10_000_000))
+        kernel.run()
+        assert arrival[0] < 0.001
+
+
+class TestLossInjection:
+    def test_loss_drops_fraction(self, kernel, net):
+        from repro.sim.rand import SeededRandom
+        a = make_server(kernel, net, 0)
+        b = make_server(kernel, net, 1)
+        received = []
+        net.bind_port(b.ip, 1, received.append)
+        net.set_loss(b.ip, 0.5, SeededRandom(3))
+        for _ in range(200):
+            net.send(Message(src=(a.ip, 1), dst=(b.ip, 1), kind="x"))
+        kernel.run()
+        assert 60 <= len(received) <= 140
+        assert net.messages_lost == 200 - len(received)
+
+    def test_clear_loss_restores_delivery(self, kernel, net):
+        from repro.sim.rand import SeededRandom
+        a = make_server(kernel, net, 0)
+        b = make_server(kernel, net, 1)
+        received = []
+        net.bind_port(b.ip, 1, received.append)
+        net.set_loss(b.ip, 1.0, SeededRandom(3))
+        net.send(Message(src=(a.ip, 1), dst=(b.ip, 1), kind="x"))
+        kernel.run()
+        assert received == []
+        net.clear_loss()
+        net.send(Message(src=(a.ip, 1), dst=(b.ip, 1), kind="x"))
+        kernel.run()
+        assert len(received) == 1
+
+    def test_bad_probability_rejected(self, kernel, net):
+        make_server(kernel, net, 0)
+        with pytest.raises(ValueError):
+            net.set_loss(server_ip(0), 1.5, None)

@@ -1,0 +1,94 @@
+"""Tests for the MMS orphan-circuit reconciliation (section 10.1.1)."""
+
+import pytest
+
+from repro.cluster import build_full_cluster
+
+
+def mms_status(cluster, client):
+    async def call():
+        ref = await client.names.resolve("svc/mms")
+        return await client.runtime.invoke(ref, "status", ())
+
+    return cluster.run_async(call())
+
+
+class TestOrphanCircuits:
+    def test_unexplained_circuit_reclaimed_after_grace(self):
+        """A circuit allocated outside any MMS session (e.g. the MMS died
+        between allocate and open) is collected by the audit."""
+        cluster = build_full_cluster(n_servers=2, seed=181)
+        settop = cluster.add_settop(1)
+        client = cluster.client_on(cluster.servers[0], name="oc")
+        cmgr = cluster.run_async(client.names.resolve("svc/cmgr/1"))
+        cluster.run_async(client.runtime.invoke(
+            cmgr, "allocate", (settop.ip, cluster.servers[0].ip, 3_000_000)))
+        downlink = cluster.net.downlink_of(settop.ip)
+        assert downlink.reserved_bps == 3_000_000
+        # grace (60s) + audit interval (30s) + slack
+        cluster.run_for(120.0)
+        assert downlink.reserved_bps == 0
+        trace = cluster.trace.select("mms", "orphan_circuit_reclaimed")
+        assert len(trace) == 1
+
+    def test_live_session_circuit_not_reclaimed(self):
+        """Circuits backing real sessions survive the audit."""
+        cluster = build_full_cluster(n_servers=2, seed=182)
+        stk = cluster.add_settop_kernel(1)
+        assert cluster.boot_settops([stk])
+        cluster.run_async(stk.app_manager.tune(5))
+        vod = stk.app_manager.current_app
+        cluster.run_async(vod.play("T2"))
+        cluster.run_for(120.0)  # several audit rounds
+        assert vod.playing
+        downlink = cluster.net.downlink_of(stk.host.ip)
+        assert downlink.reserved_bps == 3_000_000
+        assert cluster.trace.select("mms", "orphan_circuit_reclaimed") == []
+
+    def test_channel_change_closes_movie_gracefully(self):
+        """Section 3.4.5 via the AM: switching apps releases resources."""
+        cluster = build_full_cluster(n_servers=2, seed=183)
+        stk = cluster.add_settop_kernel(1)
+        assert cluster.boot_settops([stk])
+        cluster.run_async(stk.app_manager.tune(5))
+        vod = stk.app_manager.current_app
+        cluster.run_async(vod.play("T2"))
+        cluster.run_for(5.0)
+        downlink = cluster.net.downlink_of(stk.host.ip)
+        assert downlink.reserved_bps > 0
+        # Channel-surf away: the AM shuts the VOD app down cleanly.
+        cluster.run_async(stk.app_manager.tune(6))
+        cluster.run_for(2.0)
+        assert downlink.reserved_bps == 0
+        client = cluster.client_on(cluster.servers[0], name="cc")
+        assert mms_status(cluster, client)["sessions"] == 0
+
+
+class TestSupersededSessions:
+    def test_reopen_after_app_crash_reclaims_old_circuit(self):
+        """Section 10.1.1: a client calling back in to restart its movie
+        supersedes the session its crashed predecessor leaked."""
+        cluster = build_full_cluster(n_servers=2, seed=184)
+        stk = cluster.add_settop_kernel(1)
+        assert cluster.boot_settops([stk])
+        cluster.run_async(stk.app_manager.tune(5))
+        vod = stk.app_manager.current_app
+        cluster.run_async(vod.play("T2"))
+        cluster.run_for(5.0)
+        downlink = cluster.net.downlink_of(stk.host.ip)
+        assert downlink.reserved_bps == 3_000_000
+        # The app crashes without closing; the AM restarts it; the
+        # restarted app resumes the same title.
+        stk.host.find_process("vod-app").kill(status="segfault")
+        cluster.run_for(15.0)
+        new_vod = stk.app_manager.current_app
+        assert new_vod is not vod and new_vod.name == "vod"
+        cluster.run_async(new_vod.play("T2"))
+        cluster.run_for(5.0)
+        # Exactly one circuit: the old session was superseded, not leaked.
+        assert downlink.reserved_bps == 3_000_000
+        client = cluster.client_on(cluster.servers[0], name="ss")
+        assert mms_status(cluster, client)["sessions"] == 1
+        assert len(cluster.trace.select("mms", "superseded")) == 1
+        # Resume point survived via the VOD service bookmark machinery.
+        assert new_vod.position >= 3.0

@@ -1,0 +1,145 @@
+"""Unit tests for hosts, processes, and the failure model."""
+
+import pytest
+
+from repro.sim import CancelledError, Host, Kernel, ProcessExit
+from repro.sim.host import Disk
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def host(kernel):
+    return Host(kernel, "forge")
+
+
+class TestProcessLifecycle:
+    def test_spawn_gives_unique_pids(self, host):
+        a = host.spawn("svc-a")
+        b = host.spawn("svc-b")
+        assert a.pid != b.pid
+
+    def test_incarnation_unique_per_restart(self, kernel, host):
+        first = host.spawn("mms")
+        first_inc = first.incarnation
+        first.kill()
+        kernel.run(until=1.0)
+        second = host.spawn("mms")
+        assert second.incarnation != first_inc
+
+    def test_kill_cancels_tasks(self, kernel, host):
+        proc = host.spawn("svc")
+        state = {"interrupted": False}
+
+        async def loop():
+            try:
+                await kernel.sleep(1000.0)
+            except CancelledError:
+                state["interrupted"] = True
+                raise
+
+        proc.create_task(loop())
+        kernel.call_later(1.0, proc.kill)
+        kernel.run(until=5.0)
+        assert state["interrupted"]
+        assert not proc.alive
+
+    def test_kill_is_idempotent(self, host):
+        proc = host.spawn("svc")
+        proc.kill()
+        proc.kill()
+        assert proc.exit_status == "killed"
+
+    def test_children_die_with_parent(self, host):
+        ssc = host.spawn("ssc")
+        child = host.spawn("mds", parent=ssc)
+        grandchild = host.spawn("helper", parent=child)
+        ssc.kill()
+        assert not child.alive
+        assert not grandchild.alive
+        assert "parent" in child.exit_status
+
+    def test_exit_watcher_fires(self, kernel, host):
+        proc = host.spawn("svc")
+        seen = []
+        proc.on_exit(lambda p: seen.append(p.pid))
+        proc.kill()
+        assert seen == [proc.pid]
+
+    def test_exit_watcher_on_dead_process_fires_soon(self, kernel, host):
+        proc = host.spawn("svc")
+        proc.kill()
+        seen = []
+        proc.on_exit(lambda p: seen.append("late"))
+        kernel.run()
+        assert seen == ["late"]
+
+    def test_create_task_on_dead_process_raises(self, host):
+        proc = host.spawn("svc")
+        proc.kill()
+
+        async def noop():
+            return None
+
+        with pytest.raises(ProcessExit):
+            proc.create_task(noop())
+
+
+class TestHostFailure:
+    def test_crash_kills_all_processes(self, host):
+        procs = [host.spawn(f"svc-{i}") for i in range(3)]
+        host.crash()
+        assert not host.up
+        assert all(not p.alive for p in procs)
+
+    def test_spawn_on_down_host_raises(self, host):
+        host.crash()
+        with pytest.raises(ProcessExit):
+            host.spawn("svc")
+
+    def test_boot_runs_hooks(self, host):
+        booted = []
+        host.add_boot_hook(lambda h: booted.append(h.boot_count))
+        host.crash()
+        host.boot()
+        assert host.up
+        assert booted == [2]
+
+    def test_boot_on_up_host_is_noop(self, host):
+        host.boot()
+        assert host.boot_count == 1
+
+    def test_disk_survives_crash(self, host):
+        host.disk.write("movies/T2", b"data")
+        host.crash()
+        host.boot()
+        assert host.disk.read("movies/T2") == b"data"
+
+    def test_find_process(self, host):
+        host.spawn("ns")
+        assert host.find_process("ns") is not None
+        assert host.find_process("absent") is None
+        host.find_process("ns").kill()
+        assert host.find_process("ns") is None
+
+
+class TestDisk:
+    def test_read_default(self):
+        disk = Disk()
+        assert disk.read("missing", default=42) == 42
+
+    def test_write_read_delete(self):
+        disk = Disk()
+        disk.write("k", "v")
+        assert "k" in disk
+        disk.delete("k")
+        assert "k" not in disk
+
+    def test_keys_sorted(self):
+        disk = Disk()
+        disk.write("b", 1)
+        disk.write("a", 2)
+        assert disk.keys() == ["a", "b"]

@@ -1,0 +1,292 @@
+"""Unit tests for the virtual-time kernel primitives."""
+
+import pytest
+
+from repro.sim import (
+    CancelledError,
+    Event,
+    Kernel,
+    Queue,
+    Semaphore,
+    SimTimeoutError,
+    gather,
+)
+from repro.sim.errors import InvalidStateError
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+class TestClock:
+    def test_starts_at_zero(self, kernel):
+        assert kernel.now == 0.0
+
+    def test_run_advances_to_until(self, kernel):
+        kernel.run(until=42.0)
+        assert kernel.now == 42.0
+
+    def test_call_later_fires_at_right_time(self, kernel):
+        seen = []
+        kernel.call_later(5.0, lambda: seen.append(kernel.now))
+        kernel.run()
+        assert seen == [5.0]
+
+    def test_events_fire_in_time_order(self, kernel):
+        seen = []
+        kernel.call_later(3.0, lambda: seen.append("c"))
+        kernel.call_later(1.0, lambda: seen.append("a"))
+        kernel.call_later(2.0, lambda: seen.append("b"))
+        kernel.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self, kernel):
+        seen = []
+        for tag in ("x", "y", "z"):
+            kernel.call_later(1.0, seen.append, tag)
+        kernel.run()
+        assert seen == ["x", "y", "z"]
+
+    def test_cancelled_timer_does_not_fire(self, kernel):
+        seen = []
+        handle = kernel.call_later(1.0, seen.append, "nope")
+        handle.cancel()
+        kernel.run()
+        assert seen == []
+
+    def test_run_until_stops_before_later_events(self, kernel):
+        seen = []
+        kernel.call_later(10.0, seen.append, "late")
+        kernel.run(until=5.0)
+        assert seen == []
+        kernel.run(until=15.0)
+        assert seen == ["late"]
+
+    def test_call_at_in_past_clamps_to_now(self, kernel):
+        kernel.run(until=10.0)
+        seen = []
+        kernel.call_at(5.0, lambda: seen.append(kernel.now))
+        kernel.run()
+        assert seen == [10.0]
+
+
+class TestFuture:
+    def test_result_before_done_raises(self, kernel):
+        fut = kernel.create_future()
+        with pytest.raises(InvalidStateError):
+            fut.result()
+
+    def test_set_result(self, kernel):
+        fut = kernel.create_future()
+        fut.set_result(7)
+        assert fut.done() and fut.result() == 7
+
+    def test_double_set_raises(self, kernel):
+        fut = kernel.create_future()
+        fut.set_result(1)
+        with pytest.raises(InvalidStateError):
+            fut.set_result(2)
+
+    def test_exception_propagates(self, kernel):
+        fut = kernel.create_future()
+        fut.set_exception(ValueError("boom"))
+        with pytest.raises(ValueError):
+            fut.result()
+
+    def test_cancel(self, kernel):
+        fut = kernel.create_future()
+        assert fut.cancel()
+        assert fut.cancelled()
+        with pytest.raises(CancelledError):
+            fut.result()
+
+    def test_callback_runs_on_completion(self, kernel):
+        fut = kernel.create_future()
+        seen = []
+        fut.add_done_callback(lambda f: seen.append(f.result()))
+        fut.set_result("hi")
+        kernel.run()
+        assert seen == ["hi"]
+
+    def test_callback_added_after_done_still_runs(self, kernel):
+        fut = kernel.create_future()
+        fut.set_result(3)
+        seen = []
+        fut.add_done_callback(lambda f: seen.append(f.result()))
+        kernel.run()
+        assert seen == [3]
+
+
+class TestTask:
+    def test_task_returns_value(self, kernel):
+        async def main():
+            return 99
+
+        assert kernel.run_until_complete(main()) == 99
+
+    def test_sleep_advances_time(self, kernel):
+        async def main():
+            await kernel.sleep(2.5)
+            return kernel.now
+
+        assert kernel.run_until_complete(main()) == 2.5
+
+    def test_sequential_sleeps_accumulate(self, kernel):
+        async def main():
+            await kernel.sleep(1.0)
+            await kernel.sleep(2.0)
+            return kernel.now
+
+        assert kernel.run_until_complete(main()) == 3.0
+
+    def test_exception_in_task_propagates(self, kernel):
+        async def main():
+            raise RuntimeError("kaboom")
+
+        with pytest.raises(RuntimeError, match="kaboom"):
+            kernel.run_until_complete(main())
+
+    def test_cancel_sleeping_task(self, kernel):
+        state = {"cleaned": False}
+
+        async def main():
+            try:
+                await kernel.sleep(100.0)
+            except CancelledError:
+                state["cleaned"] = True
+                raise
+
+        task = kernel.create_task(main())
+        kernel.call_later(1.0, task.cancel)
+        kernel.run(until=10.0)
+        assert task.cancelled()
+        assert state["cleaned"]
+
+    def test_task_awaiting_task(self, kernel):
+        async def inner():
+            await kernel.sleep(1.0)
+            return "inner-done"
+
+        async def outer():
+            return await kernel.create_task(inner())
+
+        assert kernel.run_until_complete(outer()) == "inner-done"
+
+    def test_cancel_completed_task_is_noop(self, kernel):
+        async def main():
+            return 1
+
+        task = kernel.create_task(main())
+        kernel.run()
+        assert not task.cancel()
+
+    def test_wait_for_times_out(self, kernel):
+        async def main():
+            await kernel.wait_for(kernel.sleep(100.0), timeout=5.0)
+
+        with pytest.raises(SimTimeoutError):
+            kernel.run_until_complete(main())
+        assert kernel.now == 5.0
+
+    def test_wait_for_completes_in_time(self, kernel):
+        async def main():
+            return await kernel.wait_for(kernel.sleep(1.0), timeout=5.0)
+
+        kernel.run_until_complete(main())
+        assert kernel.now == 1.0
+
+    def test_gather_collects_results(self, kernel):
+        async def delayed(v, d):
+            await kernel.sleep(d)
+            return v
+
+        async def main():
+            return await gather(kernel, [delayed("a", 3), delayed("b", 1)])
+
+        assert kernel.run_until_complete(main()) == ["a", "b"]
+        assert kernel.now == 3.0
+
+    def test_gather_return_exceptions(self, kernel):
+        async def bad():
+            raise ValueError("x")
+
+        async def good():
+            return 1
+
+        async def main():
+            return await gather(kernel, [bad(), good()], return_exceptions=True)
+
+        results = kernel.run_until_complete(main())
+        assert isinstance(results[0], ValueError)
+        assert results[1] == 1
+
+
+class TestSyncPrimitives:
+    def test_event_wakes_waiters(self, kernel):
+        ev = Event(kernel)
+        seen = []
+
+        async def waiter(tag):
+            await ev.wait()
+            seen.append((tag, kernel.now))
+
+        kernel.create_task(waiter("a"))
+        kernel.create_task(waiter("b"))
+        kernel.call_later(4.0, ev.set)
+        kernel.run()
+        assert seen == [("a", 4.0), ("b", 4.0)]
+
+    def test_event_already_set(self, kernel):
+        ev = Event(kernel)
+        ev.set()
+
+        async def main():
+            await ev.wait()
+            return kernel.now
+
+        assert kernel.run_until_complete(main()) == 0.0
+
+    def test_queue_fifo(self, kernel):
+        q = Queue(kernel)
+
+        async def main():
+            q.put(1)
+            q.put(2)
+            return [await q.get(), await q.get()]
+
+        assert kernel.run_until_complete(main()) == [1, 2]
+
+    def test_queue_blocks_until_put(self, kernel):
+        q = Queue(kernel)
+        kernel.call_later(3.0, q.put, "item")
+
+        async def main():
+            item = await q.get()
+            return (item, kernel.now)
+
+        assert kernel.run_until_complete(main()) == ("item", 3.0)
+
+    def test_semaphore_limits_concurrency(self, kernel):
+        sem = Semaphore(kernel, 2)
+        active = {"n": 0, "max": 0}
+
+        async def worker():
+            await sem.acquire()
+            active["n"] += 1
+            active["max"] = max(active["max"], active["n"])
+            await kernel.sleep(1.0)
+            active["n"] -= 1
+            sem.release()
+
+        for _ in range(5):
+            kernel.create_task(worker())
+        kernel.run()
+        assert active["max"] == 2
+
+    def test_semaphore_try_acquire(self, kernel):
+        sem = Semaphore(kernel, 1)
+        assert sem.try_acquire()
+        assert not sem.try_acquire()
+        sem.release()
+        assert sem.try_acquire()

@@ -1,0 +1,125 @@
+"""Tests for venue channels (3.4.3), call encryption (3.3), and the
+evict-style resource limit (7.3)."""
+
+import pytest
+
+from repro.cluster import build_full_cluster
+from repro.core.params import Params
+from repro.idl import register_interface
+from repro.ocs import OCSRuntime
+
+
+class TestVenues:
+    @pytest.fixture(scope="class")
+    def itv(self):
+        cluster = build_full_cluster(n_servers=2, seed=151)
+        stk = cluster.add_settop_kernel(1)
+        assert cluster.boot_settops([stk])
+        return cluster, stk
+
+    def test_venue_channel_loads_scoped_navigator(self, itv):
+        cluster, stk = itv
+        cluster.run_async(stk.app_manager.tune(8))  # venue:arcade
+        nav = stk.app_manager.current_app
+        assert nav.name == "navigator"
+        assert nav.current_venue == "arcade"
+        assert set(nav.lineup()) == {"game"}
+
+    def test_pick_from_venue_launches_app(self, itv):
+        cluster, stk = itv
+        cluster.run_async(stk.app_manager.tune(8))
+        nav = stk.app_manager.current_app
+        cluster.run_async(nav.pick("game"))
+        assert stk.app_manager.current_app.name == "game"
+
+    def test_multi_app_venue(self, itv):
+        cluster, stk = itv
+        cluster.run_async(stk.app_manager.tune(9))  # venue:lifestyle
+        nav = stk.app_manager.current_app
+        assert set(nav.lineup()) == {"shopping", "vod"}
+
+    def test_plain_navigator_shows_everything(self, itv):
+        cluster, stk = itv
+        cluster.run_async(stk.app_manager.tune(4))
+        nav = stk.app_manager.current_app
+        assert nav.current_venue is None
+        assert len(nav.lineup()) >= 6
+
+    def test_unknown_venue_rejected(self, itv):
+        cluster, stk = itv
+        stk.app_manager.channels[99] = "venue:ghost"
+        with pytest.raises(KeyError):
+            cluster.run_async(stk.app_manager.tune(99))
+
+
+register_interface("CryptoEcho", {"echo": ("v",)})
+
+
+class TestEncryptedCalls:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        from repro.cluster import build_cluster
+        return build_cluster(n_servers=2, seed=152)
+
+    def _servant(self, cluster):
+        class Servant:
+            async def echo(self, ctx, v):
+                return {"value": v, "encrypted": ctx.encrypted}
+
+        proc = cluster.servers[1].spawn("crypto-svc")
+        runtime = OCSRuntime(proc, cluster.net)
+        return runtime.export(Servant(), "CryptoEcho")
+
+    def test_default_calls_signed_not_encrypted(self, cluster):
+        ref = self._servant(cluster)
+        client = cluster.client_on(cluster.servers[0], name="ce1")
+        out = cluster.run_async(client.runtime.invoke(ref, "echo", ("x",)))
+        assert out["encrypted"] is False
+
+    def test_encrypted_flag_reaches_servant(self, cluster):
+        ref = self._servant(cluster)
+        client = cluster.client_on(cluster.servers[0], name="ce2")
+        out = cluster.run_async(client.runtime.invoke(
+            ref, "echo", ("x",), encrypted=True))
+        assert out["encrypted"] is True
+
+    def test_encryption_costs_bytes(self, cluster):
+        ref = self._servant(cluster)
+        client = cluster.client_on(cluster.servers[0], name="ce3")
+        kind = "rpc.call.CryptoEcho.echo"
+        before = cluster.net.bytes_by_kind.get(kind, 0)
+        cluster.run_async(client.runtime.invoke(ref, "echo", ("x",)))
+        plain = cluster.net.bytes_by_kind[kind] - before
+        before = cluster.net.bytes_by_kind[kind]
+        cluster.run_async(client.runtime.invoke(ref, "echo", ("x",),
+                                                encrypted=True))
+        encrypted = cluster.net.bytes_by_kind[kind] - before
+        assert encrypted > plain
+
+
+class TestEvictLimitPolicy:
+    def test_evict_frees_oldest_connection(self):
+        cluster = build_full_cluster(
+            n_servers=2, seed=153,
+            params=Params(max_connections_per_settop=2,
+                          connection_limit_policy="evict"))
+        settop = cluster.add_settop(1, downstream_bps=50_000_000)
+        client = cluster.client_on(cluster.servers[0], name="ev")
+        cmgr = cluster.run_async(client.names.resolve("svc/cmgr/1"))
+
+        conns = []
+        for _ in range(2):
+            conns.append(cluster.run_async(client.runtime.invoke(
+                cmgr, "allocate",
+                (settop.ip, cluster.servers[0].ip, 1_000_000))))
+            cluster.run_for(1.0)
+        # Third allocation evicts the oldest instead of failing.
+        third = cluster.run_async(client.runtime.invoke(
+            cmgr, "allocate", (settop.ip, cluster.servers[0].ip, 1_000_000)))
+        live = cluster.run_async(client.runtime.invoke(cmgr, "connections",
+                                                       ()))
+        assert third in live
+        assert conns[0] not in live       # the oldest was freed
+        assert conns[1] in live
+        downlink = cluster.net.downlink_of(settop.ip)
+        assert downlink.reserved_bps == 2_000_000

@@ -1,0 +1,65 @@
+"""Tests for VCR-style trick play on the VOD app (pause/seek/resume)."""
+
+import pytest
+
+from repro.cluster import build_full_cluster
+
+
+@pytest.fixture(scope="module")
+def playing():
+    cluster = build_full_cluster(n_servers=2, seed=211)
+    stk = cluster.add_settop_kernel(1)
+    assert cluster.boot_settops([stk])
+    cluster.run_async(stk.app_manager.tune(5))
+    return cluster, stk.app_manager.current_app
+
+
+class TestTrickPlay:
+    def test_seek_forward(self, playing):
+        cluster, vod = playing
+        cluster.run_async(vod.play("T2", resume=False))
+        cluster.run_for(5.0)
+        cluster.run_async(vod.seek(100.0))
+        cluster.run_for(5.0)
+        assert 100.0 <= vod.position <= 108.0
+        assert vod.playing
+
+    def test_seek_backward(self, playing):
+        cluster, vod = playing
+        cluster.run_async(vod.seek(20.0))
+        cluster.run_for(3.0)
+        assert 20.0 <= vod.position <= 26.0
+
+    def test_seek_clamps_negative(self, playing):
+        cluster, vod = playing
+        cluster.run_async(vod.seek(-50.0))
+        assert vod.position == 0.0
+
+    def test_pause_then_seek_resumes(self, playing):
+        cluster, vod = playing
+        cluster.run_async(vod.pause())
+        assert not vod.playing
+        chunks = vod.chunks_received
+        cluster.run_for(5.0)
+        assert vod.chunks_received == chunks
+        cluster.run_async(vod.seek(vod.position))
+        cluster.run_for(5.0)
+        assert vod.playing
+        assert vod.chunks_received > chunks
+
+    def test_watchdog_quiet_while_paused(self, playing):
+        """A paused stream must not look like a stall."""
+        cluster, vod = playing
+        cluster.run_async(vod.pause())
+        stalls = len(vod.interruptions)
+        cluster.run_for(30.0)
+        assert len(vod.interruptions) == stalls
+        cluster.run_async(vod.seek(vod.position))
+        cluster.run_for(3.0)
+        assert vod.playing
+
+    def test_stop_cleans_up(self, playing):
+        cluster, vod = playing
+        cluster.run_async(vod.stop())
+        downlink = cluster.net.downlink_of(vod.host.ip)
+        assert downlink.reserved_bps == 0
