@@ -1,0 +1,34 @@
+"""Static analysis for the reproduction's determinism invariants.
+
+``repro lint`` front-end:  an AST linter with repo-specific rules
+(D001..D008, see :mod:`repro.analysis.rules`) plus a runtime
+double-run trace diff (:mod:`repro.analysis.determinism`).  The rules
+exist to keep one promise enforceable forever: two runs with the same
+seed produce byte-identical traces.
+"""
+
+from repro.analysis.determinism import double_run_diff, reference_scenario_trace
+from repro.analysis.engine import (
+    FileContext,
+    LintReport,
+    Rule,
+    Violation,
+    collect_files,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.rules import default_rules, rules_by_id
+
+__all__ = [
+    "FileContext",
+    "LintReport",
+    "Rule",
+    "Violation",
+    "collect_files",
+    "default_rules",
+    "double_run_diff",
+    "lint_paths",
+    "lint_source",
+    "reference_scenario_trace",
+    "rules_by_id",
+]

@@ -9,6 +9,8 @@ writing any code:
     python -m repro operator              # CSC tooling walkthrough
     python -m repro report                # scripted availability campaign
     python -m repro inventory             # Figure 2 service census
+    python -m repro lint src/repro        # determinism & layering linter
+    python -m repro --determinism-check   # same-seed double-run trace diff
 """
 
 from __future__ import annotations
@@ -63,6 +65,41 @@ def _cmd_inventory(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import lint_paths
+    import os
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        print(f"repro lint: no such file or directory: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    report = lint_paths(args.paths)
+    if args.stats:
+        for line in report.stats_lines():
+            print(line)
+    else:
+        for line in report.format_lines():
+            print(line)
+    return 0 if report.ok else 1
+
+
+def _run_determinism_check(args) -> int:
+    from repro.analysis import double_run_diff
+    diff = double_run_diff(args.seed, settops=args.settops,
+                           duration=args.duration)
+    if not diff:
+        print(f"determinism check passed: seed {args.seed} ran twice, "
+              "traces byte-identical")
+        return 0
+    print(f"DETERMINISM VIOLATION: seed {args.seed} produced diverging "
+          "traces:")
+    for line in diff[:200]:
+        print(line)
+    if len(diff) > 200:
+        print(f"... {len(diff) - 200} more diff line(s)")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -89,6 +126,31 @@ def build_parser() -> argparse.ArgumentParser:
     inventory.add_argument("--servers", type=int, default=3)
     inventory.add_argument("--seed", type=int, default=0)
     inventory.set_defaults(fn=_cmd_inventory)
+
+    lint = sub.add_parser(
+        "lint", help="determinism & distributed-invariant linter (D001-D008)")
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to lint (default src/repro)")
+    lint.add_argument("--stats", action="store_true",
+                      help="summarize violations by rule and by file")
+    lint.set_defaults(fn=_cmd_lint)
+    return parser
+
+
+def build_determinism_parser() -> argparse.ArgumentParser:
+    """Parser for the ``--determinism-check`` mode (no subcommand)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the reference scenario twice with one seed and "
+                    "diff the traces (exit 1 on drift)")
+    parser.add_argument("--determinism-check", action="store_true",
+                        required=True, help=argparse.SUPPRESS)
+    parser.add_argument("--seed", type=int, default=0,
+                        help="scenario seed (default 0)")
+    parser.add_argument("--settops", type=int, default=2,
+                        help="settops to boot (default 2)")
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="simulated seconds per run (default 120)")
     return parser
 
 
@@ -99,6 +161,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     repo_root = pathlib.Path(__file__).resolve().parent.parent.parent
     if (repo_root / "examples").is_dir() and str(repo_root) not in sys.path:
         sys.path.insert(0, str(repo_root))
+    if argv is None:
+        argv = sys.argv[1:]
+    if "--determinism-check" in argv:
+        return _run_determinism_check(
+            build_determinism_parser().parse_args(argv))
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

@@ -73,13 +73,13 @@ class ClusterServiceController(Service):
         self.binder = PrimaryBackupBinder(self, "svc/csc", self.ref,
                                           on_promote=self._on_promote,
                                           on_demote=self._on_demote)
-        self.spawn_task(self.binder.run(), name="csc-binder")
+        self.spawn_task(self.binder.run(), name="csc-binder").detach()
 
     # -- primary duties ----------------------------------------------------
 
     def _on_promote(self):
         self._is_primary = True
-        self.spawn_task(self._primary_loop(), name="csc-primary")
+        self.spawn_task(self._primary_loop(), name="csc-primary").detach()
 
     def _on_demote(self):
         self._is_primary = False

@@ -84,7 +84,7 @@ class ServerServiceController:
         self._callbacks: List[ObjectRef] = []
         self._name_client = NameClient(self.runtime, env.ns_ip, env.params)
         self.base_services = list(base_services or [])
-        self.process.create_task(self._startup(), name="ssc-startup")
+        self.process.create_task(self._startup(), name="ssc-startup").detach()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -138,7 +138,7 @@ class ServerServiceController:
         service = factory(self.env, proc)
         entry.service = service
         proc.create_task(self._run_service(service, proc),
-                         name=f"run-{entry.name}")
+                         name=f"run-{entry.name}").detach()
         proc.on_exit(lambda p: self._on_service_exit(entry, p))
         self.env.emit("ssc", "service_started", service=entry.name, pid=proc.pid)
 
@@ -256,7 +256,7 @@ class ServerServiceController:
         targets = [only] if only is not None else list(self._callbacks)
         for cb in targets:
             self.process.create_task(self._call_callback(cb, method, objects),
-                                     name="ssc-callback")
+                                     name="ssc-callback").detach()
 
     async def _call_callback(self, cb: ObjectRef, method: str,
                              objects: List[ObjectRef]) -> None:

@@ -38,7 +38,7 @@ from repro.ocs.runtime import CallContext, OCSRuntime
 from repro.sim.errors import CancelledError
 from repro.sim.host import Host, Process
 from repro.sim.kernel import Semaphore, gather
-from repro.sim.rand import SeededRandom
+from repro.sim.rand import SeededRandom, stable_seed
 from repro.sim.trace import TraceLog
 
 ROOT_OID = ""
@@ -67,7 +67,7 @@ class NameReplicaProcess:
         self.replica_ips = sorted(replica_ips)
         if self.ip not in self.replica_ips:
             raise ValueError(f"{self.ip} not in the replica set {replica_ips}")
-        self.rng = rng or SeededRandom(hash(self.ip) & 0xFFFF)
+        self.rng = rng or SeededRandom(stable_seed("ns", self.ip))
         self.trace = trace
         self.store = NameStore()
         self.selector_state = SelectorState(rng=self.rng.stream("selectors"))
@@ -90,7 +90,7 @@ class NameReplicaProcess:
         self.runtime.export(_ReplicaServant(self), "NameReplica",
                             object_id=REPLICA_OID)
         self._sync_context_exports()
-        self.process.create_task(self._watchdog(), name="ns-watchdog")
+        self.process.create_task(self._watchdog(), name="ns-watchdog").detach()
 
     # ------------------------------------------------------------------
     # public helpers
@@ -335,8 +335,9 @@ class NameReplicaProcess:
         self._emit("update", seq=seq, op=op[0], path=op[1])
         for peer in self.replica_ips:
             if peer != self.ip:
+                # Best-effort push; the audit loop repairs missed peers.
                 self.runtime.invoke(self.peer_replica_ref(peer), "applyUpdate",
-                                    (seq, op))
+                                    (seq, op)).detach()
         return seq
 
     def _ingest(self, seq: int, op: tuple) -> None:
@@ -351,12 +352,12 @@ class NameReplicaProcess:
         """Keep one exported context object per tree context (section 9.2)."""
         wanted = set(self.store.context_paths())
         current = set(self._context_servants)
-        for path in wanted - current:
+        for path in sorted(wanted - current):
             servant = ContextServant(self, path)
             self._context_servants[path] = servant
             self.runtime.export(servant, self._kind_of(path),
                                 object_id=_context_oid(path))
-        for path in current - wanted:
+        for path in sorted(current - wanted):
             del self._context_servants[path]
             self.runtime.unexport(_context_oid(path))
 
@@ -372,7 +373,7 @@ class NameReplicaProcess:
         if self._fetching_state or self.master_ip in (None, self.ip):
             return
         self._fetching_state = True
-        self.process.create_task(self._fetch_state(), name="ns-fetch-state")
+        self.process.create_task(self._fetch_state(), name="ns-fetch-state").detach()
 
     async def _fetch_state(self) -> None:
         try:
@@ -452,8 +453,8 @@ class NameReplicaProcess:
             self.master_ip = self.ip
             self._emit("master_elected", epoch=epoch, votes=votes)
             self.process.create_task(self._master_heartbeats(epoch),
-                                     name="ns-heartbeats")
-            self.process.create_task(self._audit_loop(epoch), name="ns-audit")
+                                     name="ns-heartbeats").detach()
+            self.process.create_task(self._audit_loop(epoch), name="ns-audit").detach()
         else:
             self.role = "slave"
             self.last_heartbeat = self.kernel.now

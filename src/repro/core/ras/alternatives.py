@@ -182,7 +182,7 @@ class PerServiceTracking(RecoveryMechanism):
             # One ping (+reply from live clients) per client per service
             # with outstanding grants.
             clients = {g.client for g in self._grants.values()}
-            for client in clients:
+            for client in sorted(clients):
                 self.stats.messages += 1  # ping
                 if self.client_alive(client):
                     self.stats.messages += 1  # pong

@@ -73,8 +73,8 @@ class ResourceAuditService(Service):
         await self.bind_as_replica("ras", self.host.ip, self.ref,
                                    selector="sameserver")
         await self._register_with_ssc(callback_ref)
-        self.spawn_task(self._peer_poll_loop(), name="ras-peer-poll")
-        self.spawn_task(self._settop_poll_loop(), name="ras-settop-poll")
+        self.spawn_task(self._peer_poll_loop(), name="ras-peer-poll").detach()
+        self.spawn_task(self._settop_poll_loop(), name="ras-settop-poll").detach()
 
     async def _register_with_ssc(self, callback_ref: ObjectRef) -> None:
         from repro.core.control.ssc import ssc_ref

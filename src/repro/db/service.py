@@ -58,7 +58,7 @@ class DatabaseService(Service):
         await self.bind_as_replica("db-all", self.host.ip, self.ref,
                                    selector="sameserver")
         self.binder = PrimaryBackupBinder(self, "svc/db", self.ref)
-        self.spawn_task(self.binder.run(), name="db-binder")
+        self.spawn_task(self.binder.run(), name="db-binder").detach()
 
     # -- storage on the host disk --------------------------------------
 

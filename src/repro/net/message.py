@@ -18,6 +18,12 @@ def _next_msg_id() -> int:
     return _msg_counter[0]
 
 
+def reset_msg_counter() -> None:
+    """Restart message ids; call when a fresh simulation run begins (see
+    repro.sim.host.reset_pid_counter for why)."""
+    _msg_counter[0] = 0
+
+
 @dataclass
 class Message:
     """One datagram: source/destination endpoints plus an opaque payload.

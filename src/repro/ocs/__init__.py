@@ -6,6 +6,16 @@ implementing process, client stubs that turn method calls into remote
 invocations, and server-side dispatch with per-call caller identity.
 """
 
+# The transport names the application layer (services/, settop/) is
+# allowed to touch.  Linter rule D006 forbids those packages importing
+# repro.net directly; everything they legitimately need -- the datagram
+# type, the network handle they are handed at construction, reservation
+# failures, and the neighborhood topology helper -- is re-exported here
+# as part of the object layer's sanctioned surface.
+from repro.net.address import neighborhood_of
+from repro.net.link import ReservationError
+from repro.net.message import Message
+from repro.net.network import Network
 from repro.ocs.exceptions import (
     AuthError,
     CallTimeout,
@@ -24,10 +34,14 @@ __all__ = [
     "CallTimeout",
     "CommFailure",
     "InvalidObjectReference",
+    "Message",
+    "Network",
     "OCSError",
     "OCSRuntime",
     "ObjectRef",
     "RemoteException",
+    "ReservationError",
     "ServiceUnavailable",
     "Stub",
+    "neighborhood_of",
 ]

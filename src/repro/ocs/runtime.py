@@ -48,6 +48,12 @@ def _next_port() -> int:
     return _port_counter[0]
 
 
+def reset_port_counter() -> None:
+    """Restart port allocation; call when a fresh simulation run begins
+    (see repro.sim.host.reset_pid_counter for why)."""
+    _port_counter[0] = 9999
+
+
 def allocate_port() -> int:
     """Allocate a fresh port for raw (non-OCS) traffic, e.g. the data
     port a settop application receives movie chunks on."""
@@ -138,7 +144,7 @@ class OCSRuntime:
         if single_threaded:
             export.queue = Queue(self.kernel)
             self.process.create_task(
-                self._single_thread_worker(export), name=f"st-{type_id}")
+                self._single_thread_worker(export), name=f"st-{type_id}").detach()
         self._exports[object_id] = export
         return ObjectRef(ip=self.ip, port=self.port,
                          incarnation=self.process.incarnation,
@@ -245,7 +251,7 @@ class OCSRuntime:
         else:
             self.process.create_task(
                 self._run_servant(msg, ctx, export),
-                name=f"serve-{payload['method']}")
+                name=f"serve-{payload['method']}").detach()
 
     async def _single_thread_worker(self, export: _Export) -> None:
         while True:

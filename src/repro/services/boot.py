@@ -53,7 +53,7 @@ class BootBroadcastService(Service):
         await self.register_objects([self.ref])
         await self.bind_as_replica("boot", self.host.ip, self.ref,
                                    selector="sameserver")
-        self.spawn_task(self._broadcast_loop(), name="boot-broadcast")
+        self.spawn_task(self._broadcast_loop(), name="boot-broadcast").detach()
 
     def _my_neighborhoods(self) -> List[int]:
         return self.env.cluster.get("neighborhoods_by_server",
@@ -116,11 +116,11 @@ class KernelBroadcastService(Service):
         self.binder = PrimaryBackupBinder(self, "svc/kbs", self.ref,
                                           on_promote=self._on_promote,
                                           on_demote=self._on_demote)
-        self.spawn_task(self.binder.run(), name="kbs-binder")
+        self.spawn_task(self.binder.run(), name="kbs-binder").detach()
 
     def _on_promote(self):
         self._is_primary = True
-        self.spawn_task(self._broadcast_loop(), name="kbs-broadcast")
+        self.spawn_task(self._broadcast_loop(), name="kbs-broadcast").detach()
 
     def _on_demote(self):
         self._is_primary = False

@@ -22,7 +22,7 @@ from typing import Dict, Optional
 from repro.core.naming.errors import NamingError
 from repro.core.replication import PrimaryBackupBinder
 from repro.idl import register_exception, register_interface
-from repro.net.link import ReservationError
+from repro.ocs import ReservationError
 from repro.ocs.exceptions import ServiceUnavailable
 from repro.ocs.runtime import CallContext
 from repro.services.base import Service
@@ -87,7 +87,7 @@ class ConnectionManagerService(Service):
         for nbhd in primaries + backups:
             binder = PrimaryBackupBinder(self, f"svc/cmgr/{nbhd}", self.ref)
             self.binders[nbhd] = binder
-            self.spawn_task(binder.run(), name=f"cmgr-binder-{nbhd}")
+            self.spawn_task(binder.run(), name=f"cmgr-binder-{nbhd}").detach()
 
     # -- allocation -----------------------------------------------------
 
@@ -120,7 +120,7 @@ class ConnectionManagerService(Service):
         self._conns[conn_id] = record
         self.emit("allocated", conn=conn_id, bps=bps)
         self.spawn_task(self._push_state(conn_id, record, deleted=False),
-                        name="cmgr-push")
+                        name="cmgr-push").detach()
         return conn_id
 
     def deallocate(self, conn_id: str) -> None:
@@ -135,9 +135,9 @@ class ConnectionManagerService(Service):
         self.emit("deallocated", conn=conn_id)
         if record is not None and self.params.resource_accounting:
             self.spawn_task(self._account_usage(settop_ip, record),
-                            name="cmgr-account")
+                            name="cmgr-account").detach()
         self.spawn_task(self._push_state(conn_id, record or {}, deleted=True),
-                        name="cmgr-push")
+                        name="cmgr-push").detach()
 
     async def _account_usage(self, settop_ip: str, record: dict) -> None:
         """Section 7.3 extension: per-settop resource accounting.

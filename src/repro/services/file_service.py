@@ -75,7 +75,7 @@ class FileService(Service):
     def list_dir(self, path: str) -> List[str]:
         prefix = self._disk_key(path) + "/" if path else FS_DISK_PREFIX
         names = set()
-        for key in self.host.disk.keys():
+        for key in sorted(self.host.disk.keys()):
             if not key.startswith(prefix):
                 continue
             rest = key[len(prefix):]

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.idl import register_exception, register_interface
-from repro.net.message import Message
+from repro.ocs import Message
 from repro.ocs.objref import ObjectRef
 from repro.ocs.runtime import CallContext
 from repro.services.base import Service

@@ -26,7 +26,7 @@ from repro.core.naming.errors import NamingError
 from repro.core.ras.client import AuditClient
 from repro.core.replication import PrimaryBackupBinder
 from repro.idl import register_exception, register_interface
-from repro.net.address import neighborhood_of
+from repro.ocs import neighborhood_of
 from repro.ocs.exceptions import OCSError, ServiceUnavailable
 from repro.ocs.objref import ObjectRef
 from repro.ocs.runtime import CallContext
@@ -88,14 +88,14 @@ class MediaManagementService(Service):
         self.binder = PrimaryBackupBinder(self, "svc/mms", self.ref,
                                           on_promote=self._on_promote,
                                           on_demote=self._on_demote)
-        self.spawn_task(self.binder.run(), name="mms-binder")
-        self.spawn_task(self._mds_retry_loop(), name="mms-mds-retry")
+        self.spawn_task(self.binder.run(), name="mms-binder").detach()
+        self.spawn_task(self._mds_retry_loop(), name="mms-mds-retry").detach()
 
     # -- primary/backup ---------------------------------------------------
 
     def _on_promote(self):
         self._is_primary = True
-        self.spawn_task(self._circuit_audit_loop(), name="mms-circuit-audit")
+        self.spawn_task(self._circuit_audit_loop(), name="mms-circuit-audit").detach()
         return self._recover_state()
 
     def _on_demote(self):
@@ -396,7 +396,7 @@ class MediaManagementService(Service):
                   if s["settop_ip"] == settop_ip]
         self.emit("settop_dead", settop=settop_ip, movies=len(doomed))
         for movie in doomed:
-            self.spawn_task(self.close_movie(movie), name="mms-reclaim")
+            self.spawn_task(self.close_movie(movie), name="mms-reclaim").detach()
 
     # -- introspection --------------------------------------------------------
 

@@ -116,7 +116,7 @@ class AppManager:
         app_cls = APP_CLASSES[app_name]
         self.current_app = app_cls(self, app_proc)
         self._app_process = app_proc
-        app_proc.create_task(self.current_app.run(), name=f"{app_name}-main")
+        app_proc.create_task(self.current_app.run(), name=f"{app_name}-main").detach()
         await self.current_app.ready.wait()
         if venue is not None and hasattr(self.current_app, "enter_venue"):
             self.current_app.enter_venue(venue)

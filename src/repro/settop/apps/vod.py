@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.net.message import Message
+from repro.ocs import Message
 from repro.ocs.exceptions import OCSError, ServiceUnavailable
 from repro.ocs.objref import ObjectRef
 from repro.ocs.runtime import allocate_port
@@ -52,8 +52,8 @@ class VODApp(SettopApp):
         self.process.on_exit(
             lambda _p: self.am.settop.network.unbind_port(self.host.ip,
                                                           self.data_port))
-        self.process.create_task(self._watchdog(), name="vod-watchdog")
-        self.process.create_task(self._position_reporter(), name="vod-pos")
+        self.process.create_task(self._watchdog(), name="vod-watchdog").detach()
+        self.process.create_task(self._position_reporter(), name="vod-pos").detach()
 
     # -- viewer operations -----------------------------------------------
 
@@ -138,7 +138,7 @@ class VODApp(SettopApp):
             self.playing = False
             self.finished = True
             self.emit("finished", title=self.title)
-            self.process.create_task(self._finish(), name="vod-finish")
+            self.process.create_task(self._finish(), name="vod-finish").detach()
             return
         self.position = payload["position"] + payload["span"]
 

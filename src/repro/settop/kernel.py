@@ -17,8 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.params import Params
-from repro.net.message import Message
-from repro.net.network import Network
+from repro.ocs import Message, Network
 from repro.ocs.exceptions import ServiceUnavailable
 from repro.ocs.runtime import OCSRuntime
 from repro.services.boot import BOOT_PARAMS_PORT, KERNEL_PORT, KERNEL_VERSION
@@ -78,7 +77,7 @@ class SettopKernel:
                     and self.process is not None and self.process.alive)
         if announce:
             # Fire-and-forget; no reply is awaited (the set is going off).
-            runtime.invoke(mgr, "reportShutdown", (self.host.ip,))
+            runtime.invoke(mgr, "reportShutdown", (self.host.ip,)).detach()
         self.state = "off"
         self.app_manager = None
         if announce:
@@ -117,7 +116,7 @@ class SettopKernel:
         self.state = "booted"
         self.booted_at = self.kernel.now
         self._emit("booted", took=self.booted_at - self.powered_on_at)
-        self.process.create_task(self._after_boot(), name="stk-postboot")
+        self.process.create_task(self._after_boot(), name="stk-postboot").detach()
 
     async def _after_boot(self) -> None:
         from repro.settop.app_manager import AppManager
@@ -126,11 +125,11 @@ class SettopKernel:
         self._runtime = runtime
         await self._report_boot(runtime)
         self.process.create_task(self._heartbeat_loop(runtime),
-                                 name="stk-heartbeat")
+                                 name="stk-heartbeat").detach()
         # Start the first application: the Application Manager.
         am_proc = self.host.spawn("appmgr", parent=self.process)
         self.app_manager = AppManager(self, am_proc, self.boot_params)
-        am_proc.create_task(self.app_manager.run(), name="appmgr-main")
+        am_proc.create_task(self.app_manager.run(), name="appmgr-main").detach()
 
     async def _report_boot(self, runtime: OCSRuntime) -> None:
         from repro.core.naming.client import NameClient

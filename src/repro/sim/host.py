@@ -32,6 +32,17 @@ class ProcessExit(SimError):
 _pid_counter = [0]
 
 
+def reset_pid_counter() -> None:
+    """Restart pid allocation; call when a fresh simulation run begins.
+
+    Pids are process-global, so back-to-back runs in one interpreter
+    would otherwise see different pids in their traces -- breaking the
+    same-seed byte-identical-trace invariant the determinism check
+    (``repro --determinism-check``) enforces.
+    """
+    _pid_counter[0] = 0
+
+
 class Process:
     """A crashable unit of execution on a :class:`Host`.
 

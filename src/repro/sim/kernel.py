@@ -15,6 +15,7 @@ so two runs with the same seed produce byte-identical traces.
 from __future__ import annotations
 
 import heapq
+import weakref
 from typing import Any, Callable, Iterable, List, Optional
 
 from repro.sim.errors import (
@@ -43,6 +44,7 @@ class Future:
         self._result: Any = None
         self._exception: Optional[BaseException] = None
         self._callbacks: List[Callable[["Future"], None]] = []
+        self._detached = False
 
     @property
     def kernel(self) -> "Kernel":
@@ -93,6 +95,23 @@ class Future:
         self._schedule_callbacks()
         return True
 
+    def detach(self) -> "Future":
+        """Declare this future fire-and-forget (linter rule D008).
+
+        The creator promises nothing will await the result: background
+        loops that live until their process dies, best-effort
+        notifications, and the like.  Detaching is an explicit statement
+        of intent, so a discarded future is always a reviewable event.
+        Returns ``self`` so creation sites read
+        ``kernel.create_task(coro).detach()``.
+        """
+        self._detached = True
+        return self
+
+    @property
+    def detached(self) -> bool:
+        return self._detached
+
     def add_done_callback(self, fn: Callable[["Future"], None]) -> None:
         if self.done():
             self._kernel.call_soon(fn, self)
@@ -133,6 +152,14 @@ class Task(Future):
         self.name = name
         self._waiting_on: Optional[Future] = None
         self._must_cancel = False
+        # Teardown hygiene: a task scheduled just before its kernel stops
+        # never gets a first _step, leaving the coroutine unstarted.  A
+        # plain __del__ cannot close it reliably -- task and coroutine die
+        # together in one reference cycle and the coroutine's own
+        # finalizer (which warns "never awaited") may run first.
+        # weakref.finalize holds the coroutine alive until the task is
+        # collected and is guaranteed to run before either finalizer.
+        self._coro_closer = weakref.finalize(self, _close_coro_quietly, coro)
         kernel.call_soon(self._step)
 
     def cancel(self) -> bool:
@@ -165,7 +192,7 @@ class Task(Future):
         except CancelledError:
             self._finish(cancelled=True)
             return
-        except BaseException as err:  # noqa: BLE001 - propagate into future
+        except BaseException as err:  # repro: noqa D005 - the task stepper is the propagation boundary; failures land in the future
             self._finish(exception=err)
             return
         if not isinstance(yielded, Future):
@@ -192,6 +219,7 @@ class Task(Future):
 
     def _finish(self, result: Any = None, exception: Optional[BaseException] = None,
                 cancelled: bool = False) -> None:
+        self._coro_closer.detach()
         self._coro.close()
         if cancelled:
             Future.cancel(self)
@@ -202,6 +230,11 @@ class Task(Future):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Task {self.name!r} {self._state}>"
+
+
+def _close_coro_quietly(coro) -> None:
+    """Finalizer for tasks torn down before their first step."""
+    coro.close()
 
 
 class Kernel:

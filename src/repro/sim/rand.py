@@ -14,6 +14,20 @@ from typing import List, Sequence, TypeVar
 T = TypeVar("T")
 
 
+def stable_seed(*parts: object) -> int:
+    """Derive an integer seed from ``parts``, stable across interpreter runs.
+
+    Use this instead of ``hash()`` (PYTHONHASHSEED-sensitive) or ``id()``
+    (allocation-order-sensitive) wherever a component derives its own
+    seed or ordering key -- linter rule D004.  The recipe is the same
+    digest :meth:`SeededRandom.stream` uses, so named substreams and
+    ad-hoc derivations stay in one family.
+    """
+    text = ":".join(str(p) for p in parts)
+    digest = hashlib.md5(text.encode()).hexdigest()
+    return int(digest[:8], 16)
+
+
 class SeededRandom:
     """A thin wrapper around :class:`random.Random` with named substreams.
 
@@ -34,8 +48,7 @@ class SeededRandom:
         reproducible across interpreter invocations (PYTHONHASHSEED).
         """
         if name not in self._streams:
-            digest = hashlib.md5(f"{self.seed}:{name}".encode()).hexdigest()
-            self._streams[name] = SeededRandom(int(digest[:8], 16))
+            self._streams[name] = SeededRandom(stable_seed(self.seed, name))
         return self._streams[name]
 
     def uniform(self, low: float, high: float) -> float:

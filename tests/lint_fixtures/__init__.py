@@ -1,0 +1,3 @@
+# Intentionally-broken sources for the linter tests.  These files are
+# parsed by repro.analysis, never imported as code; each dXXX.py seeds
+# known violations for exactly one rule.

@@ -1,0 +1,8 @@
+"""Fixture: D001 -- global random module use."""
+
+import random                    # line 3: D001
+from random import choice        # line 4: D001
+
+
+def jitter() -> float:
+    return random.random() + (choice([1, 2]) * 0.0)

@@ -1,0 +1,10 @@
+"""Fixture: D002 -- wall-clock reads."""
+
+import time                      # line 3: D002
+from time import monotonic       # line 4: D002
+from datetime import datetime
+
+
+def stamp() -> float:
+    started = datetime.now()     # line 9: D002
+    return time.time() - monotonic() + started.timestamp()

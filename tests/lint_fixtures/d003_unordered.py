@@ -1,0 +1,17 @@
+"""Fixture: D003 -- iteration over unordered collections."""
+
+
+def broadcast(hosts: dict, extras) -> list:
+    out = []
+    for ip in hosts.keys():              # line 6: D003 (bare .keys())
+        out.append(ip)
+    live = set(extras)
+    dead = {h for h in out if h not in extras}
+    for ip in live:                      # line 10: D003 (set-typed name)
+        out.append(ip)
+    for ip in live - dead:               # line 12: D003 (set difference)
+        out.append(ip)
+    ordered = [ip for ip in sorted(live)]          # fine: sorted
+    if any(ip.startswith("10.") for ip in hosts.keys()):   # fine: any()
+        out.extend(ordered)
+    return out

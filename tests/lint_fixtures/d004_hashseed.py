@@ -1,0 +1,9 @@
+"""Fixture: D004 -- hash()/id() in seeds and ordering keys."""
+
+
+def derive_seed(ip: str) -> int:
+    return hash(ip) & 0xFFFF             # line 5: D004
+
+
+def order_key(obj) -> int:
+    return id(obj)                       # line 9: D004

@@ -1,0 +1,23 @@
+"""Fixture: D005 -- blanket except handlers."""
+
+
+def swallow_everything(fn):
+    try:
+        fn()
+    except:                              # line 7: D005 (bare except)
+        pass
+
+
+def swallow_base(fn):
+    try:
+        fn()
+    except BaseException:                # line 14: D005
+        return None
+
+
+def reraise_is_fine(fn):
+    try:
+        fn()
+    except BaseException as err:         # fine: re-raises
+        log = err
+        raise

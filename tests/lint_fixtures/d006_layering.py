@@ -1,0 +1,9 @@
+"""Fixture: D006 -- application layer importing the transport.
+
+The engine is told to treat this file as living at
+``services/d006_layering.py`` so the layering rule applies.
+"""
+
+from repro.net.message import Message    # line 7: D006
+import repro.net.network                 # line 8: D006
+from repro.ocs import ObjectRef          # fine: the sanctioned surface

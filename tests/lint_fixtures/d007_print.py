@@ -1,0 +1,5 @@
+"""Fixture: D007 -- print outside cli.py."""
+
+
+def report(stats: dict) -> None:
+    print("stats:", stats)               # line 5: D007

@@ -1,0 +1,10 @@
+"""Fixture: suppression comments silence specific or all rules."""
+
+import random                    # repro: noqa D001
+from time import monotonic       # repro: noqa
+
+
+def mixed() -> float:
+    for key in {}.keys():        # repro: noqa D005 (wrong code: D003 fires)
+        return float(key)
+    return random.random() + monotonic()
