@@ -1,0 +1,265 @@
+"""Micro-benchmarks for the simulation hot paths (``repro bench``).
+
+Every future PR is measured against the numbers this module writes to
+``BENCH_micro.json``: if a change slows the kernel event loop, the
+network send/deliver path, trace emission, or an E11-sized boot storm,
+the regression is visible as a diff of that file.  The suite is the
+mechanical counterpart of the experiment benchmarks under
+``benchmarks/`` -- those regenerate paper claims in *simulated* time,
+this one measures how fast the simulator itself burns *wall* time.
+
+The wall clock is exactly what this module is for, hence the linter
+suppression: timings never influence simulation behaviour (every
+benchmark runs its simulation to completion regardless of elapsed
+time), so determinism is untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time  # repro: noqa D002 - benchmarks measure the wall clock by design
+from typing import Any, Callable, Dict, List
+
+SCHEMA = "repro-bench/1"
+
+#: ``trace_select.speedup`` below this fails ``repro bench`` (DESIGN.md §8).
+MIN_SELECT_SPEEDUP = 3.0
+
+
+def _timed(fn: Callable[[], Any]) -> Dict[str, Any]:
+    t0 = time.perf_counter()
+    result = fn()
+    wall = time.perf_counter() - t0
+    out = {"wall_s": round(wall, 6)}
+    if isinstance(result, dict):
+        out.update(result)
+    return out
+
+
+# -- kernel -----------------------------------------------------------
+
+
+def bench_kernel_soon(n: int) -> Dict[str, Any]:
+    """call_soon chain: the fast lane every future completion rides."""
+    from repro.sim.kernel import Kernel
+
+    kernel = Kernel()
+    remaining = [n]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            kernel.call_soon(tick)
+
+    def run() -> Dict[str, Any]:
+        kernel.call_soon(tick)
+        kernel.run()
+        return {"events": n}
+
+    out = _timed(run)
+    out["events_per_sec"] = round(out["events"] / max(out["wall_s"], 1e-9))
+    return out
+
+
+def bench_kernel_timers(n: int) -> Dict[str, Any]:
+    """Heap-lane timers, including the cancelled-handle churn of
+    ``wait_for``: half the timers are cancelled before they fire."""
+    from repro.sim.kernel import Kernel
+
+    kernel = Kernel()
+    fired = [0]
+
+    def tick() -> None:
+        fired[0] += 1
+
+    def run() -> Dict[str, Any]:
+        handles = [kernel.call_later(((i * 7919) % 1000) / 10.0, tick)
+                   for i in range(n)]
+        for handle in handles[::2]:
+            handle.cancel()
+        kernel.run()
+        return {"events": n, "fired": fired[0]}
+
+    out = _timed(run)
+    out["events_per_sec"] = round(out["events"] / max(out["wall_s"], 1e-9))
+    return out
+
+
+# -- network ----------------------------------------------------------
+
+
+def bench_network_send(n: int) -> Dict[str, Any]:
+    """Datagram send+deliver between two servers on the FDDI ring."""
+    from repro.net import Message, Network, server_ip
+    from repro.net.message import reset_msg_counter
+    from repro.sim.host import Host
+    from repro.sim.kernel import Kernel
+
+    reset_msg_counter()
+    kernel = Kernel()
+    net = Network(kernel)
+    a = Host(kernel, "bench-a")
+    b = Host(kernel, "bench-b")
+    net.attach(a, server_ip(0))
+    net.attach(b, server_ip(1))
+    delivered = [0]
+    net.bind_port(b.ip, 9, lambda m: delivered.__setitem__(0, delivered[0] + 1))
+
+    def run() -> Dict[str, Any]:
+        send = net.send
+        src, dst = (a.ip, 9), (b.ip, 9)
+        for i in range(n):
+            send(Message(src=src, dst=dst, kind="bench.ping",
+                         payload_bytes=64))
+            if i % 64 == 63:
+                kernel.run()  # drain in batches, like real traffic bursts
+        kernel.run()
+        return {"messages": n, "delivered": delivered[0]}
+
+    out = _timed(run)
+    out["messages_per_sec"] = round(out["messages"] / max(out["wall_s"], 1e-9))
+    return out
+
+
+# -- trace ------------------------------------------------------------
+
+
+def _synthetic_trace(n: int):
+    from repro.sim.kernel import Kernel
+    from repro.sim.trace import TraceLog
+
+    kernel = Kernel()
+    trace = TraceLog(kernel)
+    cats = [("mms", "stream_started"), ("mms", "promoted"),
+            ("ras", "poll"), ("ns", "update"), ("boot", "request")]
+    for i in range(n):
+        cat, ev = cats[i % len(cats)]
+        trace.emit(cat, ev, host=f"h{i % 7}", seq=i)
+    return trace
+
+
+def bench_trace_emit(n: int) -> Dict[str, Any]:
+    out = _timed(lambda: {"events": len(_synthetic_trace(n))})
+    out["events_per_sec"] = round(out["events"] / max(out["wall_s"], 1e-9))
+    return out
+
+
+def bench_trace_select(n: int, queries: int) -> Dict[str, Any]:
+    """Indexed ``select`` vs the reference linear scan, E11-sized log.
+
+    The acceptance bar for this PR: the indexed path must be >= 3x the
+    linear scan under the repeated-polling pattern experiments use.
+    """
+    from repro.sim.trace import TraceLog
+
+    trace = _synthetic_trace(n)
+    keys = [("mms", "promoted"), ("ras", "poll"), ("ns", "update")]
+
+    def linear() -> Dict[str, Any]:
+        hits = 0
+        for q in range(queries):
+            cat, ev = keys[q % len(keys)]
+            hits += len(trace._select_linear(cat, ev))
+        return {"hits": hits}
+
+    # Fresh log sharing the same event list: the indexed side pays its
+    # full index build inside the timed region.
+    indexed_log = TraceLog(trace._kernel)
+    indexed_log.events = trace.events
+
+    def indexed() -> Dict[str, Any]:
+        hits = 0
+        for q in range(queries):
+            cat, ev = keys[q % len(keys)]
+            hits += len(indexed_log.select(cat, ev))
+        return {"hits": hits}
+
+    lin = _timed(linear)
+    idx = _timed(indexed)
+    assert lin["hits"] == idx["hits"], "index diverged from linear scan"
+    return {
+        "events": n,
+        "queries": queries,
+        "linear_wall_s": lin["wall_s"],
+        "indexed_wall_s": idx["wall_s"],
+        "wall_s": idx["wall_s"],
+        "speedup": round(lin["wall_s"] / max(idx["wall_s"], 1e-9), 1),
+    }
+
+
+# -- end to end -------------------------------------------------------
+
+
+def bench_boot_storm(settops: int) -> Dict[str, Any]:
+    """E11-sized end-to-end run: build the cluster, boot ``settops``
+    simultaneously via broadcast, wall-time the whole simulation."""
+    from repro.cluster.builder import build_full_cluster, fresh_run_state
+
+    def run() -> Dict[str, Any]:
+        fresh_run_state()
+        cluster = build_full_cluster(n_servers=3, seed=14001)
+        kernels = [cluster.add_settop_kernel(
+            cluster.neighborhoods[i % len(cluster.neighborhoods)],
+            power_on=False) for i in range(settops)]
+        t0 = cluster.now
+        for stk in kernels:
+            stk.power_on()
+        deadline = t0 + 300.0
+        while cluster.now < deadline:
+            cluster.run_for(1.0)
+            if all(stk.state == "booted" for stk in kernels):
+                break
+        booted = sum(1 for stk in kernels if stk.state == "booted")
+        return {"settops": settops, "booted": booted,
+                "trace_events": len(cluster.trace),
+                "sim_seconds": round(cluster.now - t0, 1)}
+
+    out = _timed(run)
+    out["sim_seconds_per_wall_s"] = round(
+        out["sim_seconds"] / max(out["wall_s"], 1e-9), 1)
+    return out
+
+
+# -- suite ------------------------------------------------------------
+
+
+def run_suite(quick: bool = False) -> Dict[str, Any]:
+    scale = 1 if quick else 10
+    benchmarks: Dict[str, Dict[str, Any]] = {}
+    benchmarks["kernel_soon"] = bench_kernel_soon(20_000 * scale)
+    benchmarks["kernel_timers"] = bench_kernel_timers(20_000 * scale)
+    benchmarks["network_send"] = bench_network_send(5_000 * scale)
+    benchmarks["trace_emit"] = bench_trace_emit(20_000 * scale)
+    benchmarks["trace_select"] = bench_trace_select(20_000 * scale,
+                                                    queries=100 * scale)
+    benchmarks["boot_storm_e11"] = bench_boot_storm(16 if quick else 48)
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def format_lines(results: Dict[str, Any]) -> List[str]:
+    lines = [f"== repro bench ({'quick' if results['quick'] else 'full'}; "
+             f"python {results['host']['python']}) =="]
+    for name, data in results["benchmarks"].items():
+        parts = [f"{name}: {data['wall_s'] * 1000:.1f} ms"]
+        for key in ("events_per_sec", "messages_per_sec", "speedup",
+                    "sim_seconds_per_wall_s"):
+            if key in data:
+                parts.append(f"{key}={data[key]}")
+        lines.append("  " + "  ".join(parts))
+    return lines
+
+
+def write_baseline(results: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")

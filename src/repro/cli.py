@@ -10,6 +10,7 @@ writing any code:
     python -m repro report                # scripted availability campaign
     python -m repro inventory             # Figure 2 service census
     python -m repro lint src/repro        # determinism & layering linter
+    python -m repro bench                 # hot-path micro-benchmarks
     python -m repro --determinism-check   # same-seed double-run trace diff
 """
 
@@ -83,6 +84,27 @@ def _cmd_lint(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import (
+        MIN_SELECT_SPEEDUP,
+        format_lines,
+        run_suite,
+        write_baseline,
+    )
+    results = run_suite(quick=args.quick)
+    for line in format_lines(results):
+        print(line)
+    if args.out:
+        write_baseline(results, args.out)
+        print(f"wrote {args.out}")
+    speedup = results["benchmarks"]["trace_select"]["speedup"]
+    if speedup < MIN_SELECT_SPEEDUP:
+        print(f"FAIL: indexed trace select speedup {speedup}x < "
+              f"{MIN_SELECT_SPEEDUP}x", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_determinism_check(args) -> int:
     from repro.analysis import double_run_diff
     diff = double_run_diff(args.seed, settops=args.settops,
@@ -134,6 +156,15 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--stats", action="store_true",
                       help="summarize violations by rule and by file")
     lint.set_defaults(fn=_cmd_lint)
+
+    bench = sub.add_parser(
+        "bench", help="hot-path micro-benchmarks (kernel/net/trace/boot)")
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller sizes for CI smoke runs")
+    bench.add_argument("--out", default="BENCH_micro.json",
+                       help="baseline JSON path (default BENCH_micro.json; "
+                            "empty string to skip writing)")
+    bench.set_defaults(fn=_cmd_bench)
     return parser
 
 

@@ -34,11 +34,20 @@ class AvailabilityTimeline:
         return self._events[-1][1]
 
     def outages(self, until: Optional[float] = None) -> List[Tuple[float, float]]:
-        """Closed (start, duration) outage intervals up to ``until``."""
+        """Closed (start, duration) outage intervals up to ``until``.
+
+        Transitions at or after ``until`` are out of scope: an outage
+        still open at the cutoff is clamped to end there, even if an
+        up-transition was recorded later.  (A previous version scanned
+        the whole event list, so "down at 5, up at 15" reported 10s of
+        downtime for ``until=10`` instead of 5s.)
+        """
         end_time = until if until is not None else self.kernel.now
         out = []
         down_since: Optional[float] = None
         for t, up in self._events:
+            if t >= end_time:
+                break
             if not up and down_since is None:
                 down_since = t
             elif up and down_since is not None:

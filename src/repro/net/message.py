@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Tuple
+from typing import Any, Optional, Tuple
 
 # Fixed per-message overhead: headers, authentication signature, marshaled
 # call frame.  Calls are signed by default (paper section 3.3), so every
@@ -24,21 +23,39 @@ def reset_msg_counter() -> None:
     _msg_counter[0] = 0
 
 
-@dataclass
 class Message:
     """One datagram: source/destination endpoints plus an opaque payload.
 
     ``size_bytes`` drives link serialization delay; the payload itself is
     passed by reference (the simulation does not literally serialize
     Python objects, it charges for the bytes they would occupy).
+
+    Slotted rather than a dataclass: the network allocates one of these
+    per datagram, and a per-instance ``__dict__`` is the single biggest
+    allocation on the send path.
     """
 
-    src: Tuple[str, int]
-    dst: Tuple[str, int]
-    kind: str
-    payload: Any = None
-    payload_bytes: int = 0
-    msg_id: int = field(default_factory=_next_msg_id)
+    __slots__ = ("src", "dst", "kind", "payload", "payload_bytes", "msg_id")
+
+    def __init__(self, src: Tuple[str, int], dst: Tuple[str, int], kind: str,
+                 payload: Any = None, payload_bytes: int = 0,
+                 msg_id: Optional[int] = None):
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload
+        self.payload_bytes = payload_bytes
+        self.msg_id = _next_msg_id() if msg_id is None else msg_id
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (self.src == other.src and self.dst == other.dst
+                and self.kind == other.kind and self.payload == other.payload
+                and self.payload_bytes == other.payload_bytes
+                and self.msg_id == other.msg_id)
+
+    __hash__ = None  # type: ignore[assignment] - dataclass(eq=True) semantics
 
     @property
     def size_bytes(self) -> int:

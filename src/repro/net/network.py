@@ -61,8 +61,33 @@ class Network:
         self.messages_delivered: int = 0
         self.messages_dropped: int = 0
         self.messages_lost: int = 0
-        self.sent_by_kind: Dict[str, int] = {}
-        self.bytes_by_kind: Dict[str, int] = {}
+        # kind -> [count, bytes]: one dict probe per send instead of four.
+        self._kind_stats: Dict[str, List[int]] = {}
+
+    @property
+    def sent_by_kind(self) -> Dict[str, int]:
+        """Per-kind message counts (materialized view of the hot counters)."""
+        return {kind: stats[0] for kind, stats in self._kind_stats.items()}
+
+    @property
+    def bytes_by_kind(self) -> Dict[str, int]:
+        """Per-kind byte totals.
+
+        Broadcast traffic is counted per message but not per byte (the
+        plant sends one copy); kinds that only ever broadcast are omitted
+        here, matching the ledger the experiments have always read.
+        """
+        return {kind: stats[1] for kind, stats in self._kind_stats.items()
+                if stats[1]}
+
+    def _account(self, kind: str, size_bytes: int) -> None:
+        self.messages_sent += 1
+        stats = self._kind_stats.get(kind)
+        if stats is None:
+            self._kind_stats[kind] = [1, size_bytes]
+        else:
+            stats[0] += 1
+            stats[1] += size_bytes
 
     # -- attachment ----------------------------------------------------
 
@@ -174,24 +199,24 @@ class Network:
 
     def send(self, msg: Message) -> None:
         """Inject a datagram; delivery (or drop) happens asynchronously."""
-        self.messages_sent += 1
-        self.sent_by_kind[msg.kind] = self.sent_by_kind.get(msg.kind, 0) + 1
-        self.bytes_by_kind[msg.kind] = (
-            self.bytes_by_kind.get(msg.kind, 0) + msg.size_bytes)
+        size = msg.size_bytes
+        self._account(msg.kind, size)
         src_ip = msg.src[0]
         dst_ip = msg.dst[0]
-        src_iface = self._interfaces.get(src_ip)
-        dst_iface = self._interfaces.get(dst_ip)
+        interfaces = self._interfaces
+        src_iface = interfaces.get(src_ip)
+        dst_iface = interfaces.get(dst_ip)
         if src_iface is None or not src_iface.host.up:
             self.messages_dropped += 1
             return
-        if dst_iface is None or not self.reachable(src_ip, dst_ip):
+        if dst_iface is None or (self._partitions
+                                 and not self.reachable(src_ip, dst_ip)):
             # Unknown destination or partition: the datagram vanishes.
             self.messages_dropped += 1
             return
-        delay = src_iface.out_link.occupy(msg.size_bytes)
+        delay = src_iface.out_link.occupy(size)
         if src_ip != dst_ip:
-            delay += dst_iface.in_link.occupy(msg.size_bytes)
+            delay += dst_iface.in_link.occupy(size)
         else:
             # Loopback: no wire crossed; charge a scheduling quantum only.
             delay = 1e-5
@@ -200,11 +225,12 @@ class Network:
     def _deliver(self, msg: Message) -> None:
         dst_ip, dst_port = msg.dst
         iface = self._interfaces.get(dst_ip)
-        if iface is None or not iface.host.up or not self.reachable(msg.src[0], dst_ip):
+        if iface is None or not iface.host.up or (
+                self._partitions and not self.reachable(msg.src[0], dst_ip)):
             # Host died or got partitioned while the datagram was in flight.
             self.messages_dropped += 1
             return
-        if self._lose(dst_ip):
+        if self._loss and self._lose(dst_ip):
             return  # plant noise ate the datagram
         handler = iface.ports.get(dst_port)
         if handler is None:
@@ -249,10 +275,7 @@ class Network:
         propagation latency.  Returns False (dropping the message) when
         the circuit does not exist, matching ATM cells on a torn-down VC.
         """
-        self.messages_sent += 1
-        self.sent_by_kind[msg.kind] = self.sent_by_kind.get(msg.kind, 0) + 1
-        self.bytes_by_kind[msg.kind] = (
-            self.bytes_by_kind.get(msg.kind, 0) + msg.size_bytes)
+        self._account(msg.kind, msg.size_bytes)
         src_ip, dst_ip = msg.src[0], msg.dst[0]
         src_iface = self._interfaces.get(src_ip)
         dst_iface = self._interfaces.get(dst_ip)
@@ -285,8 +308,9 @@ class Network:
                 continue
             msg = Message(src=(src_ip, 0), dst=(dst_ip, port), kind=kind,
                           payload=payload, payload_bytes=payload_bytes)
-            self.messages_sent += 1
-            self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + 1
+            # One copy on the wire regardless of population: count the
+            # message but charge no per-receiver bytes.
+            self._account(kind, 0)
             self.kernel.call_later(delay + iface.in_link.latency,
                                    self._deliver, msg)
             reached += 1
@@ -298,10 +322,9 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
-        self.sent_by_kind = {}
-        self.bytes_by_kind = {}
+        self._kind_stats = {}
 
     def count_kind(self, prefix: str) -> int:
         """Total messages whose kind starts with ``prefix``."""
-        return sum(n for kind, n in self.sent_by_kind.items()
+        return sum(stats[0] for kind, stats in self._kind_stats.items()
                    if kind.startswith(prefix))

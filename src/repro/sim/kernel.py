@@ -1,11 +1,21 @@
 """Virtual-time event loop with ``async``/``await`` support.
 
 The kernel is a classic discrete-event scheduler: a heap of
-``(time, sequence, callback)`` entries.  Time only advances when the heap
-is popped, so a million simulated seconds of idle polling costs only the
-poll events themselves.  Everything above this file -- the network, OCS,
-the name service, the ITV services -- is written as ordinary ``async``
-code awaiting :class:`Future` objects created here.
+``(time, sequence, callback)`` entries plus a FIFO fast lane for
+callbacks scheduled *at the current timestamp* (``call_soon`` and past
+``call_at`` targets).  Time only advances when the heap is popped, so a
+million simulated seconds of idle polling costs only the poll events
+themselves.  Everything above this file -- the network, OCS, the name
+service, the ITV services -- is written as ordinary ``async`` code
+awaiting :class:`Future` objects created here.
+
+The fast lane is purely an optimisation: every handle still carries a
+global sequence number and the run loop always executes the lowest
+``(when, seq)`` pair across both containers, so the observable event
+order (and therefore every trace) is identical to the single-heap
+scheduler.  ``call_soon`` is the hottest scheduling call (every future
+completion funnels through it), and a deque append/popleft avoids the
+O(log n) sift the heap would charge per callback.
 
 Determinism: ties in time are broken by insertion sequence number, and all
 randomness in the simulation goes through :class:`repro.sim.rand.SeededRandom`,
@@ -16,6 +26,7 @@ from __future__ import annotations
 
 import heapq
 import weakref
+from collections import deque
 from typing import Any, Callable, Iterable, List, Optional
 
 from repro.sim.errors import (
@@ -37,6 +48,9 @@ class Future:
     read like ordinary async Python, but completion callbacks are scheduled
     on the *virtual* clock (same timestamp, later sequence number).
     """
+
+    __slots__ = ("_kernel", "_state", "_result", "_exception", "_callbacks",
+                 "_detached", "__weakref__")
 
     def __init__(self, kernel: "Kernel"):
         self._kernel = kernel
@@ -146,6 +160,8 @@ class Task(Future):
     service's internal loops.
     """
 
+    __slots__ = ("_coro", "name", "_waiting_on", "_must_cancel", "_coro_closer")
+
     def __init__(self, kernel: "Kernel", coro, name: str = "task"):
         super().__init__(kernel)
         self._coro = coro
@@ -248,9 +264,11 @@ class Kernel:
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: List[Any] = []
+        self._ready: "deque[TimerHandle]" = deque()
         self._seq = 0
         self._stopped = False
         self._task_count = 0
+        self._heap_cancelled = 0
 
     @property
     def now(self) -> float:
@@ -262,18 +280,50 @@ class Kernel:
     def call_at(self, when: float, fn: Callable, *args: Any) -> "TimerHandle":
         if self._stopped:
             raise KernelStopped("kernel has been stopped")
-        if when < self._now:
-            when = self._now
         self._seq += 1
-        handle = TimerHandle(when, self._seq, fn, args)
-        heapq.heappush(self._heap, handle)
+        if when <= self._now:
+            # Fast lane: already due.  The deque is FIFO and every handle
+            # in it shares when == now, so seq order is preserved.
+            handle = TimerHandle(self._now, self._seq, fn, args, self)
+            self._ready.append(handle)
+        else:
+            handle = TimerHandle(when, self._seq, fn, args, self)
+            handle._in_heap = True
+            heapq.heappush(self._heap, handle)
         return handle
 
     def call_later(self, delay: float, fn: Callable, *args: Any) -> "TimerHandle":
         return self.call_at(self._now + max(0.0, delay), fn, *args)
 
     def call_soon(self, fn: Callable, *args: Any) -> "TimerHandle":
-        return self.call_at(self._now, fn, *args)
+        """Schedule ``fn`` at the current timestamp (FIFO fast lane).
+
+        This is the hottest scheduling path -- every future completion
+        callback lands here -- so it skips the heap entirely.
+        """
+        if self._stopped:
+            raise KernelStopped("kernel has been stopped")
+        self._seq += 1
+        handle = TimerHandle(self._now, self._seq, fn, args, self)
+        self._ready.append(handle)
+        return handle
+
+    def _note_cancelled_in_heap(self) -> None:
+        """A heap-resident handle was cancelled; compact when they dominate.
+
+        Cancelled handles are normally dropped lazily at pop time, but
+        workloads that arm-and-disarm many long timers (``wait_for``
+        timeouts are the archetype) can leave the heap mostly dead.
+        Rebuilding via ``heapify`` keeps ``(when, seq)`` order exactly, so
+        the compaction is invisible to event ordering.
+        """
+        self._heap_cancelled += 1
+        if (self._heap_cancelled > 64
+                and self._heap_cancelled * 2 > len(self._heap)):
+            # In place: the run loop holds a reference to this list.
+            self._heap[:] = [h for h in self._heap if not h.cancelled]
+            heapq.heapify(self._heap)
+            self._heap_cancelled = 0
 
     # -- tasks and futures --------------------------------------------
 
@@ -337,16 +387,41 @@ class Kernel:
         the last event fired earlier (so repeated ``run(until=...)`` calls
         observe a monotone clock).
         """
-        while self._heap and not self._stopped:
-            handle = self._heap[0]
-            if handle.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if until is not None and handle.when > until:
+        heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
+        while not self._stopped:
+            # The next event is the lowest (when, seq) across the ready
+            # deque and the heap.  Ready handles all sit at when == now,
+            # which is <= every heap entry, so the only real contest is a
+            # heap entry at the same timestamp with an earlier seq.
+            if ready:
+                head = ready[0]
+                from_heap = bool(heap) and heap[0] < head
+                if from_heap:
+                    head = heap[0]
+            elif heap:
+                head = heap[0]
+                from_heap = True
+            else:
                 break
-            heapq.heappop(self._heap)
-            self._now = handle.when
-            handle.fn(*handle.args)
+            if head.cancelled:
+                if from_heap:
+                    heappop(heap)
+                    if self._heap_cancelled:
+                        self._heap_cancelled -= 1
+                else:
+                    ready.popleft()
+                continue
+            if until is not None and head.when > until:
+                break
+            if from_heap:
+                heappop(heap)
+                head._in_heap = False
+            else:
+                ready.popleft()
+            self._now = head.when
+            head.fn(*head.args)
         if until is not None and self._now < until and not self._stopped:
             self._now = until
         return self._now
@@ -355,7 +430,7 @@ class Kernel:
         """Run the loop until ``awaitable`` finishes; return its result."""
         fut = self.ensure_future(awaitable)
         while not fut.done():
-            if not self._heap:
+            if not self._heap and not self._ready:
                 raise RuntimeError("event loop ran dry before future completed")
             if self._now > limit:
                 raise SimTimeoutError(f"run_until_complete exceeded t={limit}")
@@ -364,8 +439,16 @@ class Kernel:
 
     def run_one(self) -> None:
         """Process a single (non-cancelled) event."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
+        heap = self._heap
+        ready = self._ready
+        while heap or ready:
+            if ready and not (heap and heap[0] < ready[0]):
+                handle = ready.popleft()
+            else:
+                handle = heapq.heappop(heap)
+                if self._heap_cancelled and handle.cancelled:
+                    self._heap_cancelled -= 1
+                handle._in_heap = False
             if handle.cancelled:
                 continue
             self._now = handle.when
@@ -376,23 +459,35 @@ class Kernel:
         self._stopped = True
 
     def pending_events(self) -> int:
-        return sum(1 for h in self._heap if not h.cancelled)
+        return (sum(1 for h in self._heap if not h.cancelled)
+                + sum(1 for h in self._ready if not h.cancelled))
 
 
 class TimerHandle:
     """A cancellable scheduled callback, orderable for the event heap."""
 
-    __slots__ = ("when", "seq", "fn", "args", "cancelled")
+    __slots__ = ("when", "seq", "fn", "args", "cancelled", "_kernel", "_in_heap")
 
-    def __init__(self, when: float, seq: int, fn: Callable, args: tuple):
+    def __init__(self, when: float, seq: int, fn: Callable, args: tuple,
+                 kernel: Optional["Kernel"] = None):
         self.when = when
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._kernel = kernel
+        self._in_heap = False
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        # Release the callback and its closed-over state immediately; the
+        # shell of the handle stays queued until the run loop skips it.
+        self.fn = None
+        self.args = ()
+        if self._in_heap and self._kernel is not None:
+            self._kernel._note_cancelled_in_heap()
 
     def __lt__(self, other: "TimerHandle") -> bool:
         return (self.when, self.seq) < (other.when, other.seq)

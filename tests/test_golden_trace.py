@@ -1,0 +1,39 @@
+"""Golden traces: the kernel fast-path must not move a single event.
+
+The PR that introduced the ``call_soon`` FIFO lane, slotted
+futures/messages, indexed traces and batched network accounting recorded
+these digests from the *pre-change* scheduler.  Any optimisation that
+reorders even one event (or changes one emitted field) changes the
+digest -- which is exactly the regression this file exists to catch.
+Same-seed double runs (tests/test_determinism.py) prove a run agrees
+with itself; these goldens prove it agrees with history.
+"""
+
+import hashlib
+
+from repro.analysis.determinism import reference_scenario_trace
+
+# sha256 of "\n".join(trace lines) for the reference failover scenario,
+# captured before the hot-path pass (PR 2) touched the kernel.
+GOLDEN = {
+    # (seed, settops, duration): (n_lines, sha256)
+    (3, 2, 60.0): (
+        280,
+        "471133cd319028b4c60ce8f71e40e048509c136812a388cd50b316b3827276f5"),
+    (7, 2, 60.0): (
+        293,
+        "35965a79b3a04ce3e3a50031d45febb12074822f08f70080efa45d2a08f62662"),
+}
+
+
+class TestGoldenTraces:
+    def test_reference_scenario_matches_prechange_digests(self):
+        for (seed, settops, duration), (n_lines, digest) in GOLDEN.items():
+            lines = reference_scenario_trace(seed, settops=settops,
+                                             duration=duration)
+            assert len(lines) == n_lines, (
+                f"seed {seed}: trace length {len(lines)} != golden {n_lines}")
+            got = hashlib.sha256("\n".join(lines).encode()).hexdigest()
+            assert got == digest, (
+                f"seed {seed}: trace digest drifted from the pre-fast-path "
+                f"golden; an optimisation reordered or altered events")

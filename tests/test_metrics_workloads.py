@@ -36,6 +36,32 @@ class TestPercentiles:
     def test_summarize_empty(self):
         assert summarize([]) == {"count": 0}
 
+    def test_nearest_rank_uses_ceil_not_bankers_rounding(self):
+        """Regression: round() picked rank 22 for p90 of 25 samples.
+
+        Nearest-rank is ceil(p/100 * n): for n=25, p90 -> ceil(22.5) =
+        rank 23.  Banker's rounding (round-half-to-even) gave 22.
+        """
+        data = list(range(1, 26))          # values equal their rank
+        assert percentile(data, 90) == 23  # round() would say 22
+        assert percentile(data, 50) == 13  # ceil(12.5) = 13; round() said 12
+        assert percentile(data, 10) == 3   # ceil(2.5) = 3; round() said 2
+        # Ranks where ceil and round agree must be unchanged.
+        assert percentile(data, 99) == 25
+        assert percentile(data, 4) == 1
+
+    def test_percentile_presorted_skips_sort(self):
+        data = [5.0, 1.0, 3.0]
+        assert percentile(data, 50) == 3.0
+        assert percentile(sorted(data), 50, presorted=True) == 3.0
+
+    def test_summarize_percentiles_consistent_with_percentile(self):
+        data = [float(v) for v in range(100, 0, -1)]
+        s = summarize(data)
+        assert s["p50"] == percentile(data, 50)
+        assert s["p90"] == percentile(data, 90)
+        assert s["p99"] == percentile(data, 99)
+
 
 class TestLatencyRecorder:
     def test_start_stop(self, kernel):
@@ -57,6 +83,55 @@ class TestLatencyRecorder:
     def test_stop_unknown_raises(self, kernel):
         with pytest.raises(KeyError):
             LatencyRecorder(kernel).stop("ghost")
+
+    def test_discard_abandons_open_timer(self, kernel):
+        """Regression: a mid-flight death leaked the _open entry forever."""
+        rec = LatencyRecorder(kernel)
+        rec.start("op", token="dying")
+        assert rec.open_timers() == 1
+        assert rec.discard("op", token="dying")
+        assert rec.open_timers() == 0
+        assert rec.summary("op") == {"count": 0}
+        with pytest.raises(KeyError):
+            rec.stop("op", token="dying")
+
+    def test_discard_unknown_is_false(self, kernel):
+        assert not LatencyRecorder(kernel).discard("ghost")
+
+    def test_time_context_manager_records_on_success(self, kernel):
+        rec = LatencyRecorder(kernel)
+        with rec.time("op") as timer:
+            kernel.run(until=1.5)
+        assert timer.elapsed == 1.5
+        assert rec.summary("op")["count"] == 1
+        assert rec.open_timers() == 0
+
+    def test_time_context_manager_discards_on_exception(self, kernel):
+        rec = LatencyRecorder(kernel)
+        with pytest.raises(RuntimeError):
+            with rec.time("op"):
+                kernel.run(until=1.0)
+                raise RuntimeError("operation died mid-flight")
+        assert rec.summary("op") == {"count": 0}
+        assert rec.open_timers() == 0
+
+    def test_time_nests_without_token_collisions(self, kernel):
+        rec = LatencyRecorder(kernel)
+        with rec.time("op"):
+            kernel.run(until=1.0)
+            with rec.time("op"):
+                kernel.run(until=2.0)
+        assert rec.summary("op")["count"] == 2
+        assert sorted(rec.samples("op")) == [1.0, 2.0]
+
+    def test_summary_sorted_cache_tracks_new_samples(self, kernel):
+        rec = LatencyRecorder(kernel)
+        for v in (3.0, 1.0, 2.0):
+            rec.record("op", v)
+        assert rec.summary("op")["min"] == 1.0
+        rec.record("op", 0.5)  # must invalidate the cached sort
+        s = rec.summary("op")
+        assert s["min"] == 0.5 and s["count"] == 4
 
 
 class TestAvailabilityTimeline:
@@ -93,6 +168,32 @@ class TestAvailabilityTimeline:
         tl.mark_up()
         tl.mark_up()
         assert len(tl.outages()) == 1
+
+    def test_until_clamps_out_of_scope_transitions(self, kernel):
+        """Regression: an up-transition after ``until`` closed the outage
+        at its real end, overstating downtime(until)."""
+        tl = AvailabilityTimeline(kernel)
+        kernel.run(until=5.0)
+        tl.mark_down()
+        kernel.run(until=15.0)
+        tl.mark_up()
+        kernel.run(until=30.0)
+        assert tl.outages(until=10.0) == [(5.0, 5.0)]
+        assert tl.downtime(until=10.0) == pytest.approx(5.0)
+        # The cutoff exactly at the up-transition is the closed interval.
+        assert tl.downtime(until=15.0) == pytest.approx(10.0)
+        # Transitions entirely past the cutoff are invisible.
+        assert tl.outages(until=5.0) == []
+        assert tl.downtime() == pytest.approx(10.0)
+
+    def test_availability_with_clamped_window(self, kernel):
+        tl = AvailabilityTimeline(kernel)
+        kernel.run(until=5.0)
+        tl.mark_down()
+        kernel.run(until=15.0)
+        tl.mark_up()
+        kernel.run(until=20.0)
+        assert tl.availability(until=10.0) == pytest.approx(0.5)
 
     def test_summary_fields(self, kernel):
         tl = AvailabilityTimeline(kernel)

@@ -71,6 +71,94 @@ class TestClock:
         assert seen == [10.0]
 
 
+class TestFastLane:
+    """The call_soon deque must interleave with the heap in seq order."""
+
+    def test_soon_and_past_call_at_share_fifo_order(self, kernel):
+        kernel.run(until=3.0)
+        seen = []
+        kernel.call_soon(seen.append, "a")
+        kernel.call_at(1.0, seen.append, "b")   # past: clamps to now, FIFO
+        kernel.call_soon(seen.append, "c")
+        kernel.call_at(3.0, seen.append, "d")   # == now: also the fast lane
+        kernel.run()
+        assert seen == ["a", "b", "c", "d"]
+
+    def test_soon_before_pending_heap_event_at_same_timestamp(self, kernel):
+        seen = []
+
+        def first():
+            kernel.call_soon(seen.append, "soon")  # deque, later seq
+
+        kernel.call_at(5.0, first)                 # heap, seq 1
+        kernel.call_at(5.0, seen.append, "second")  # heap, seq 2
+        kernel.run()
+        # "second" (seq 2) precedes "soon" (seq 3): deque must not jump
+        # ahead of an equal-timestamp heap entry with an earlier seq.
+        assert seen == ["second", "soon"]
+
+    def test_ready_events_respect_until(self, kernel):
+        kernel.run(until=10.0)
+        seen = []
+        kernel.call_soon(seen.append, "now")
+        kernel.run(until=4.0)   # until in the past: nothing may fire
+        assert seen == []
+        assert kernel.now == 10.0
+        kernel.run()
+        assert seen == ["now"]
+
+    def test_cancelled_soon_callback_does_not_fire(self, kernel):
+        seen = []
+        handle = kernel.call_soon(seen.append, "nope")
+        handle.cancel()
+        kernel.call_soon(seen.append, "yes")
+        kernel.run()
+        assert seen == ["yes"]
+
+    def test_pending_events_counts_ready_lane(self, kernel):
+        kernel.call_soon(lambda: None)
+        kernel.call_later(5.0, lambda: None)
+        cancelled = kernel.call_soon(lambda: None)
+        cancelled.cancel()
+        assert kernel.pending_events() == 2
+
+    def test_cancel_is_idempotent_and_releases_callback(self, kernel):
+        handle = kernel.call_later(5.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.fn is None and handle.args == ()
+        kernel.run()
+
+    def test_mass_cancellation_compaction_keeps_order(self, kernel):
+        """Cancelling most of the heap triggers in-place compaction; the
+        survivors must still fire in exact (when, seq) order."""
+        seen = []
+        handles = [kernel.call_later(float(i), seen.append, i)
+                   for i in range(1, 501)]
+        for h in handles:
+            if h.args and h.args[0] % 5:
+                h.cancel()
+        kernel.run()
+        assert seen == [i for i in range(1, 501) if not i % 5]
+
+    def test_compaction_during_run_does_not_lose_events(self, kernel):
+        """Compaction must mutate the heap in place: the run loop holds a
+        reference to the list across callbacks."""
+        seen = []
+        victims = [kernel.call_later(200.0 + i, seen.append, "victim")
+                   for i in range(300)]
+
+        def massacre():
+            for h in victims:
+                h.cancel()
+            kernel.call_later(1.0, seen.append, "after")
+
+        kernel.call_later(1.0, massacre)
+        kernel.call_later(50.0, seen.append, "tail")
+        kernel.run()
+        assert seen == ["after", "tail"]
+
+
 class TestFuture:
     def test_result_before_done_raises(self, kernel):
         fut = kernel.create_future()
