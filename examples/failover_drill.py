@@ -1,19 +1,23 @@
 """Failure drill: replay the paper's section 3.5 failure scenarios.
 
-Three injections against a live movie session:
+Three injections against a live movie session, driven through the
+chaos engine's fault vocabulary (:mod:`repro.chaos`), so every
+injection is a first-class, trace-logged ``Fault`` record:
 
 1. MDS crash (3.5.2)  -- the app detects the stream stall and reopens.
-2. MMS stop (3.5.3)   -- the backup wins the bind race within the 25 s
-   bound and rebuilds its state from the MDSs.
+2. MMS stop (3.5.3)   -- a ``stop_service`` fault takes the primary
+   down *without* the local SSC resurrecting it; the backup wins the
+   bind race within the 25 s bound and rebuilds its state from the MDSs.
 3. settop crash (3.5.1) -- the MMS, polling the RAS, reclaims the ATM
    circuit and the disk stream.
 
 Run:  python examples/failover_drill.py
 """
 
+from repro.chaos import Fault, FaultInjector
 from repro.cluster import build_full_cluster
-from repro.core.control.tools import OperatorConsole
 from repro.metrics.availability import AvailabilityTimeline
+from repro.sim.rand import SeededRandom
 
 
 def find_pumping_mds(cluster):
@@ -26,6 +30,7 @@ def find_pumping_mds(cluster):
 
 def main() -> None:
     cluster = build_full_cluster(n_servers=3, seed=404)
+    injector = FaultInjector(cluster, SeededRandom(404).stream("drill"))
     stk = cluster.add_settop_kernel(1)
     assert cluster.boot_settops([stk])
     cluster.run_async(stk.app_manager.tune(5))
@@ -38,7 +43,8 @@ def main() -> None:
     victim = find_pumping_mds(cluster)
     print(f"t={cluster.now:.0f}s: killing mds on {cluster.servers[victim].name}"
           f" at position {vod.position:.0f}s")
-    cluster.kill_service(victim, "mds")
+    injector.inject(Fault(0.0, "kill_service",
+                          {"server": victim, "service": "mds"}))
     stream.mark_down()
     while not vod.playing and cluster.now < 200:
         cluster.run_for(1.0)
@@ -63,9 +69,9 @@ def main() -> None:
     host, sessions = cluster.run_async(mms_host())
     print(f"t={cluster.now:.0f}s: MMS primary on {host} with {sessions} "
           f"session(s)")
-    console = OperatorConsole(client.runtime, client.names, cluster.params)
-    primary_ip = next(h.ip for h in cluster.servers if h.name == host)
-    cluster.run_async(console.stop_service("mms", primary_ip))
+    primary = next(i for i, h in enumerate(cluster.servers) if h.name == host)
+    injector.inject(Fault(0.0, "stop_service",
+                          {"server": primary, "service": "mms"}))
     t_fail = cluster.now
     new_host = host
     while new_host == host and cluster.now - t_fail < 60:
@@ -83,7 +89,8 @@ def main() -> None:
     downlink = cluster.net.downlink_of(stk.host.ip)
     print(f"t={cluster.now:.0f}s: settop crashes holding "
           f"{downlink.reserved_bps/1e6:.0f} Mbit/s of circuit")
-    stk.crash()
+    injector.inject(Fault(0.0, "crash_settop",
+                          {"settop": cluster.settops.index(stk.host)}))
     t_crash = cluster.now
     while downlink.reserved_bps > 0 and cluster.now - t_crash < 120:
         cluster.run_for(1.0)
@@ -92,6 +99,8 @@ def main() -> None:
           f"(settop-death detection + RAS poll + MMS audit poll)")
     _host, sessions = cluster.run_async(mms_host())
     print(f"MMS sessions now: {sessions}")
+    print(f"faults injected: {len(injector.injected)} "
+          f"({', '.join(f.kind for f in injector.injected)})")
     print("\nAll three section 3.5 scenarios covered.")
 
 

@@ -1,4 +1,4 @@
-"""The repo-specific rule set (D001..D008).
+"""The repo-specific rule set (D001..D009).
 
 Every rule guards the one invariant the reproduction rests on: two runs
 with the same seed produce byte-identical traces (see
@@ -10,6 +10,7 @@ a hit is a considered exception, suppress it at the site with
 from __future__ import annotations
 
 import ast
+import os
 from typing import Dict, Iterable, List, Set
 
 from repro.analysis.engine import FileContext, Rule, Violation
@@ -345,11 +346,55 @@ class FutureLeakRule(Rule):
         return out
 
 
+class RawFaultSurfaceRule(Rule):
+    rule_id = "D009"
+    title = "fault injection goes through repro.chaos"
+    rationale = ("Raw Network fault calls (partition, set_loss, set_delay, "
+                 "set_duplicate, set_gray, heal/clear) leave no chaos.inject "
+                 "trace event, so the run's digest no longer pins the fault "
+                 "schedule and a failing run cannot be replayed or "
+                 "minimized.  Inject a Fault through "
+                 "repro.chaos.FaultInjector instead.")
+
+    #: raw surface method -> how many positional args the *Network*
+    #: variant takes.  The count disambiguates `Network.partition(a, b)`
+    #: from the 1-arg `str.partition(sep)`.
+    _SURFACE = {"partition": 2, "heal_partitions": 0, "set_loss": (2, 3),
+                "set_delay": 2, "set_duplicate": (2, 3), "set_gray": 2,
+                "clear_faults": 0, "clear_loss": 0}
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterable[Violation]:
+        # The chaos injector owns the surface; repro.net implements it.
+        # Test files may poke it directly (that is how the parity tests
+        # drive partitions) -- they lint with a bare-basename relpath.
+        if ctx.in_dir("chaos", "net") or \
+                os.path.basename(ctx.relpath).startswith("test_"):
+            return []
+        out = []
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            want = self._SURFACE.get(node.func.attr)
+            if want is None:
+                continue
+            n_args = len(node.args) + len(node.keywords)
+            if n_args != want and not (isinstance(want, tuple)
+                                       and n_args in want):
+                continue   # e.g. str.partition(sep): wrong arity
+            out.append(self.violation(
+                ctx, node,
+                f"direct `.{node.func.attr}(...)` on the raw fault "
+                "surface; inject a Fault through repro.chaos so the "
+                "fault is trace-logged and replayable"))
+        return out
+
+
 def default_rules() -> List[Rule]:
     """The rule set `repro lint` runs, in id order."""
     return [RandomModuleRule(), WallClockRule(), UnorderedIterationRule(),
             HashSeedRule(), ExceptionSwallowRule(), LayeringRule(),
-            PrintRule(), FutureLeakRule()]
+            PrintRule(), FutureLeakRule(), RawFaultSurfaceRule()]
 
 
 def rules_by_id() -> Dict[str, Rule]:

@@ -1,0 +1,38 @@
+"""repro.chaos: deterministic fault injection with invariant monitoring.
+
+The availability claims of the paper (sections 4.7, 9.5) are claims
+about *arbitrary* failures, not the handful of scripted scenarios the
+experiments replay.  This package tests them that way:
+
+- :mod:`~repro.chaos.faults` / :mod:`~repro.chaos.schedule` -- faults as
+  data; schedules sampled from a seed or loaded from JSON;
+- :mod:`~repro.chaos.injector` -- the one place fault records become
+  cluster actions (lint rule D009 fences the raw surface);
+- :mod:`~repro.chaos.monitors` -- the invariant catalog, probed
+  continuously while faults land;
+- :mod:`~repro.chaos.engine` -- seeded end-to-end runs with replayable
+  trace digests;
+- :mod:`~repro.chaos.minimize` -- shrink a failing schedule to a
+  minimal repro and write it to ``benchmarks/out/``.
+
+Driven by ``repro chaos --seeds N`` (see the CLI) and the chaos-smoke CI
+job.
+"""
+
+from repro.chaos.engine import (ChaosError, ChaosResult, run_schedule,
+                                run_seed, trace_digest)
+from repro.chaos.faults import Fault, FaultError, FAULT_KINDS
+from repro.chaos.injector import FaultInjector
+from repro.chaos.minimize import (MinimizeResult, minimize_schedule,
+                                  write_minimal)
+from repro.chaos.monitors import (Monitor, MonitorBus, Violation,
+                                  default_monitors)
+from repro.chaos.schedule import FaultSchedule, generate_schedule
+
+__all__ = [
+    "ChaosError", "ChaosResult", "run_schedule", "run_seed", "trace_digest",
+    "Fault", "FaultError", "FAULT_KINDS", "FaultInjector",
+    "MinimizeResult", "minimize_schedule", "write_minimal",
+    "Monitor", "MonitorBus", "Violation", "default_monitors",
+    "FaultSchedule", "generate_schedule",
+]

@@ -1,0 +1,172 @@
+"""The chaos runner: one seed, one schedule, one verdict, one digest.
+
+``run_seed`` builds the full ITV cluster, boots settops, keeps viewer
+sessions running, replays a fault schedule through the
+:class:`~repro.chaos.injector.FaultInjector` while the
+:class:`~repro.chaos.monitors.MonitorBus` probes the invariant catalog,
+heals everything at the horizon, quiesces past the paper's worst-case
+fail-over bound, and runs the final checks.
+
+Everything is driven from substreams of one seed, and the run starts
+from :func:`~repro.cluster.builder.fresh_run_state`, so the returned
+trace digest is a replayable fingerprint: the same seed and schedule
+produce the same digest, byte for byte -- which is what lets the
+minimizer trust a re-run and lets CI double-run a schedule to prove it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.determinism import format_trace_line
+from repro.chaos.injector import FaultInjector
+from repro.chaos.monitors import MonitorBus, Violation
+from repro.chaos.schedule import FaultSchedule, generate_schedule
+from repro.cluster.builder import Cluster, build_full_cluster, fresh_run_state
+from repro.cluster.scenario import Scenario
+from repro.core.params import Params
+from repro.sim.rand import SeededRandom
+
+
+class ChaosError(RuntimeError):
+    """The chaos run itself failed to get going (not an invariant breach)."""
+
+
+@dataclass
+class ChaosResult:
+    """Everything one chaos run produced."""
+
+    seed: int
+    schedule: FaultSchedule
+    violations: List[Violation] = field(default_factory=list)
+    digest: str = ""
+    trace_lines: int = 0
+    availability: Dict[str, dict] = field(default_factory=dict)
+    viewer_ops: int = 0
+    finished_at: float = 0.0
+    faults_injected: int = 0
+    procs_killed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def violated_monitors(self) -> List[str]:
+        return sorted({v.monitor for v in self.violations})
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "digest": self.digest,
+            "trace_lines": self.trace_lines,
+            "viewer_ops": self.viewer_ops,
+            "finished_at": round(self.finished_at, 3),
+            "violations": [{"monitor": v.monitor, "t": round(v.time, 3),
+                            "detail": v.detail} for v in self.violations],
+            "availability": self.availability,
+            "schedule": self.schedule.to_dict(),
+        }
+
+
+def trace_digest(cluster: Cluster) -> str:
+    """sha256 over the canonical rendering of the whole trace."""
+    text = "\n".join(format_trace_line(ev) for ev in cluster.trace.events)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def run_schedule(schedule: FaultSchedule, seed: int, n_servers: int = 3,
+                 settops: int = 4, params: Optional[Params] = None,
+                 monitors=None) -> ChaosResult:
+    """Replay ``schedule`` against a fresh seeded cluster; judge it.
+
+    Deterministic end to end: calling this twice with the same arguments
+    yields identical :attr:`ChaosResult.digest` values.  (It restarts the
+    process-global allocators, so do not call it while another cluster
+    is live in the same interpreter.)
+    """
+    from repro.workloads.sessions import ViewerSession
+
+    fresh_run_state()
+    params = params or Params()
+    cluster = build_full_cluster(n_servers=n_servers, seed=seed, params=params)
+    rng = SeededRandom(seed)
+
+    kernels = [cluster.add_settop_kernel(
+        cluster.neighborhoods[i % len(cluster.neighborhoods)])
+        for i in range(settops)]
+    if not cluster.boot_settops(kernels, timeout=300.0):
+        raise ChaosError(f"seed {seed}: settops failed to boot")
+
+    viewer_rng = rng.stream("chaos-viewers")
+    sessions = [ViewerSession(cluster, stk, viewer_rng.stream(f"v{i}"))
+                for i, stk in enumerate(kernels)]
+    viewer_tasks = [cluster.kernel.create_task(session.run(schedule.horizon),
+                                               name=f"chaos-viewer-{i}")
+                    for i, session in enumerate(sessions)]
+
+    injector = FaultInjector(cluster, rng.stream("chaos-inject"))
+    bus = MonitorBus(cluster, injector, params,
+                     context={"settop_kernels": kernels}, monitors=monitors)
+
+    scenario = Scenario()
+    for i, fault in enumerate(schedule):
+        scenario.at(fault.at, f"fault-{i}:{fault.kind}",
+                    lambda c, f=fault: injector.inject(f))
+    scenario.at(schedule.horizon, "heal-all",
+                lambda c: injector.heal_all())
+    scenario.at(schedule.horizon + 1.0, "stop-viewers",
+                lambda c: _stop_open_movies(c, kernels))
+    scenario.observe_every(params.chaos_monitor_interval, "invariants",
+                           lambda c: bus.probe())
+    quiesce = 3 * params.max_failover + params.chaos_settle_slack
+    scenario.lasting(schedule.horizon + quiesce)
+    scenario.run(cluster)
+    bus.finish()
+
+    settop_monitor = None
+    for monitor in bus.monitors:
+        if monitor.name == "settop_service":
+            settop_monitor = monitor
+    return ChaosResult(
+        seed=seed,
+        schedule=schedule,
+        violations=list(bus.violations),
+        digest=trace_digest(cluster),
+        trace_lines=len(cluster.trace.events),
+        availability=(settop_monitor.summaries() if settop_monitor else {}),
+        viewer_ops=sum(s.stats.opens + s.stats.orders + s.stats.game_rounds
+                       + s.stats.tunes for s in sessions),
+        finished_at=cluster.now,
+        faults_injected=len(injector.injected),
+        procs_killed=len(injector.killed),
+    )
+
+
+def run_seed(seed: int, n_faults: int = 8, horizon: float = 240.0,
+             n_servers: int = 3, settops: int = 4,
+             params: Optional[Params] = None, monitors=None,
+             schedule: Optional[FaultSchedule] = None) -> ChaosResult:
+    """Generate the seed's schedule (unless given one) and run it."""
+    if schedule is None:
+        schedule = generate_schedule(
+            SeededRandom(seed).stream("chaos-schedule"),
+            n_faults=n_faults, horizon=horizon, n_servers=n_servers,
+            n_settops=settops)
+    return run_schedule(schedule, seed, n_servers=n_servers,
+                        settops=settops, params=params, monitors=monitors)
+
+
+def _stop_open_movies(cluster: Cluster, kernels) -> None:
+    """Post-horizon viewer cleanup, mirroring the chaos test's quiesce."""
+    for stk in kernels:
+        if not stk.host.up:
+            continue
+        app = stk.app_manager.current_app if stk.app_manager else None
+        if app is not None and getattr(app, "movie", None) is not None:
+            try:
+                cluster.run_async(app.stop())
+            except Exception:  # noqa: BLE001 - the service may still be down
+                pass

@@ -1,0 +1,143 @@
+"""Failing-schedule minimization: shrink a storm to its essential faults.
+
+When a seed sweep finds a monitor violation, the raw schedule is a poor
+repro: most of its faults are noise.  Because every run is deterministic
+(same seed + same schedule = same digest), we can shrink mechanically --
+re-run candidate schedules and keep any that still trip one of the
+originally-violated monitors:
+
+1. **drop** passes: remove one fault at a time, keeping removals that
+   still fail, until no single removal does (1-minimal in faults);
+2. **advance** passes: pull surviving faults earlier (halving their
+   offset), which both shortens the repro and proves the failure is not
+   an accident of late-run timing.
+
+The result is written to ``benchmarks/out/`` as a schedule JSON anyone
+can replay with ``repro chaos --schedule``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional
+
+from repro.chaos.engine import ChaosResult, run_schedule
+from repro.chaos.schedule import FaultSchedule
+
+#: shrink attempts are capped so a pathological schedule cannot make the
+#: minimizer re-run the simulator without bound.
+MAX_SHRINK_RUNS = 40
+
+#: faults are never advanced earlier than this (the cluster needs a few
+#: seconds of scenario time before a fault is meaningful).
+EARLIEST_FAULT = 5.0
+
+
+@dataclass
+class MinimizeResult:
+    """The shrunk schedule plus the evidence trail."""
+
+    seed: int
+    schedule: FaultSchedule          # minimal failing schedule
+    result: ChaosResult              # the run proving it still fails
+    original_faults: int = 0
+    runs: int = 0                    # simulator re-runs spent shrinking
+    trail: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "original_faults": self.original_faults,
+            "minimal_faults": len(self.schedule),
+            "runs": self.runs,
+            "violated_monitors": self.result.violated_monitors(),
+            "digest": self.result.digest,
+            "trail": self.trail,
+            "schedule": self.schedule.to_dict(),
+            "violations": [{"monitor": v.monitor, "t": round(v.time, 3),
+                            "detail": v.detail}
+                           for v in self.result.violations],
+        }
+
+
+def minimize_schedule(schedule: FaultSchedule, seed: int,
+                      failing: Optional[ChaosResult] = None,
+                      run: Callable[..., ChaosResult] = run_schedule,
+                      max_runs: int = MAX_SHRINK_RUNS,
+                      **run_kwargs) -> MinimizeResult:
+    """Shrink ``schedule`` while it keeps tripping the same monitor(s).
+
+    ``failing`` is the original violating result (re-run if omitted).
+    A candidate "still fails" when it violates at least one of the
+    monitors the original run violated -- shrinking may not wander to a
+    *different* failure.
+    """
+    state = {"runs": 0}
+
+    def execute(candidate: FaultSchedule) -> ChaosResult:
+        state["runs"] += 1
+        return run(candidate, seed, **run_kwargs)
+
+    if failing is None:
+        failing = execute(schedule)
+    if failing.ok:
+        raise ValueError("minimize_schedule needs a failing run to shrink")
+    target = set(failing.violated_monitors())
+    trail: List[str] = []
+
+    def still_fails(candidate: FaultSchedule) -> Optional[ChaosResult]:
+        if state["runs"] >= max_runs:
+            return None
+        result = execute(candidate)
+        if target & set(result.violated_monitors()):
+            return result
+        return None
+
+    current, current_result = schedule, failing
+    improved = True
+    while improved and state["runs"] < max_runs:
+        improved = False
+        # Drop pass: try removing each fault, last first (late faults
+        # are the likeliest noise -- the violation already happened).
+        index = len(current) - 1
+        while index >= 0 and state["runs"] < max_runs:
+            candidate = current.without(index)
+            result = still_fails(candidate)
+            if result is not None:
+                trail.append(
+                    f"dropped {current.faults[index].describe()} "
+                    f"@t={current.faults[index].at:.1f}")
+                current, current_result = candidate, result
+                improved = True
+            index -= 1
+        # Advance pass: pull each remaining fault earlier.
+        for index in range(len(current)):
+            if state["runs"] >= max_runs:
+                break
+            fault = current.faults[index]
+            new_at = max(EARLIEST_FAULT, fault.at / 2.0)
+            if fault.at - new_at < 1.0:
+                continue
+            candidate = current.advanced(index, new_at)
+            result = still_fails(candidate)
+            if result is not None:
+                trail.append(f"advanced {fault.describe()} "
+                             f"t={fault.at:.1f} -> t={new_at:.1f}")
+                current, current_result = candidate, result
+                improved = True
+    return MinimizeResult(seed=seed, schedule=current, result=current_result,
+                          original_faults=len(schedule),
+                          runs=state["runs"], trail=trail)
+
+
+def write_minimal(minimized: MinimizeResult, out_dir) -> Path:
+    """Persist the minimal failing schedule for replay; returns the path."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"chaos_min_seed{minimized.seed}.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(minimized.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

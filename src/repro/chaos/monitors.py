@@ -1,0 +1,459 @@
+"""Cluster invariant monitors: what must stay true under any fault storm.
+
+Each monitor watches one of the paper's structural guarantees from the
+*outside* (through process attachments and network state, never by
+calling into the cluster -- a probe must not perturb the run).  The
+:class:`MonitorBus` checks all of them on a fixed cadence during a chaos
+run and once more after the quiesce, and every violation lands in the
+trace so a failing run's digest pins the failure.
+
+The catalog (DESIGN.md section 9):
+
+- at most one CSC believes it is primary (section 6.2);
+- the name service keeps majority agreement: never two masters for
+  longer than an election settles, never masterless while a quorum of
+  replicas is up and connected (section 4.6);
+- a dead binding is audited out within the paper's detection bound
+  (section 4.7, ``Params.chaos_audit_bound``);
+- every settop is either served or its outage is accounted in an
+  :class:`AvailabilityTimeline`, and service returns once faults heal
+  (section 9.5);
+- a killed process leaks no Future: everything it owned is cancelled
+  (section 3.2.1's incarnation rule, enforced at the task layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.chaos.injector import FaultInjector
+from repro.cluster.builder import Cluster
+from repro.core.params import Params
+from repro.metrics.availability import AvailabilityTimeline
+
+#: how long a killed process gets to drain its cancelled tasks before
+#: an undone task counts as a leaked Future.
+LEAK_GRACE = 10.0
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed invariant breach."""
+
+    monitor: str
+    time: float
+    detail: str
+
+
+class Monitor:
+    """Base: bind to a run, then get checked on the bus cadence."""
+
+    name = "monitor"
+
+    def bind(self, cluster: Cluster, injector: FaultInjector,
+             params: Params, context: dict) -> None:
+        self.cluster = cluster
+        self.injector = injector
+        self.params = params
+        self.context = context
+
+    def check(self) -> List[Violation]:
+        """Periodic probe; called every ``chaos_monitor_interval``."""
+        return []
+
+    def finish(self) -> List[Violation]:
+        """Final probe after the post-horizon quiesce."""
+        return []
+
+    def _violation(self, detail: str) -> Violation:
+        return Violation(monitor=self.name, time=self.cluster.now,
+                         detail=detail)
+
+
+class CscPrimaryMonitor(Monitor):
+    """At most one live CSC may believe it is the cluster primary.
+
+    The handoff goes through the name-binding race (section 5.2), and an
+    *isolated* primary cannot learn its binding was audited away -- the
+    binder's verify loop "can't tell right now" while the name service
+    is unreachable.  So the invariant is checked in connected operation:
+    two primaries may overlap only while a partition is in force, plus
+    the time one verify cycle needs to demote the stale one afterwards
+    (one ``backup_bind_retry`` plus resolve timeouts, measured on the
+    probe cadence).  Dual primaries persisting past that window -- or
+    any dual primaries on a never-partitioned run -- are split-brain.
+    """
+
+    name = "csc_primary"
+
+    def bind(self, cluster, injector, params, context) -> None:
+        super().bind(cluster, injector, params, context)
+        self._grace = (params.backup_bind_retry + 2 * params.call_timeout
+                       + 2 * params.chaos_monitor_interval + 5.0)
+        self._dual_since: Optional[float] = None
+        self._reported = False
+
+    def _primaries(self) -> List[str]:
+        primaries = []
+        for host in self.cluster.servers:
+            proc = host.find_process("csc")
+            if proc is None or not proc.alive:
+                continue
+            service = proc.attachments.get("service")
+            if service is not None and getattr(service, "is_primary", False):
+                primaries.append(host.ip)
+        return primaries
+
+    def check(self) -> List[Violation]:
+        now = self.cluster.now
+        primaries = self._primaries()
+        if len(primaries) <= 1 or self.cluster.net.partitioned:
+            # Single primary, or a split where the stale one is excused.
+            self._dual_since = None
+            self._reported = False
+            return []
+        if self._dual_since is None:
+            self._dual_since = now
+        if (not self._reported
+                and now - self._dual_since > self._grace):
+            self._reported = True
+            return [self._violation(
+                f"{len(primaries)} CSCs claim primary for "
+                f"{now - self._dual_since:.1f}s on a connected network: "
+                f"{sorted(primaries)}")]
+        return []
+
+    def finish(self) -> List[Violation]:
+        primaries = self._primaries()
+        if len(primaries) > 1:
+            return [self._violation(
+                f"after quiesce: {len(primaries)} CSCs claim primary: "
+                f"{sorted(primaries)}")]
+        return []
+
+
+class NsAgreementMonitor(Monitor):
+    """Name-service majority agreement (section 4.6).
+
+    Two live masters may coexist only for as long as an election takes
+    to settle (the loser steps down on seeing a higher epoch); persistent
+    split mastership means quorum is broken.  Conversely, with a quorum
+    of replicas alive and no partition in force, *some* master must
+    emerge within the fail-over bound.
+    """
+
+    name = "ns_agreement"
+
+    def bind(self, cluster, injector, params, context) -> None:
+        super().bind(cluster, injector, params, context)
+        # An isolated old master steps down after missing heartbeat
+        # acks; two election cycles plus margin covers the window.
+        self._split_grace = 2 * (params.ns_election_timeout[1]
+                                 + params.ns_heartbeat) + 10.0
+        self._masterless_grace = 2 * params.max_failover
+        self._split_since: Optional[float] = None
+        self._split_reported = False
+        self._masterless_since: Optional[float] = None
+        self._masterless_reported = False
+
+    def _masters(self) -> Tuple[List[str], int]:
+        masters, live = [], 0
+        for host in self.cluster.servers:
+            proc = host.find_process("ns")
+            if proc is None or not proc.alive:
+                continue
+            replica = proc.attachments.get("ns_replica")
+            if replica is None:
+                continue
+            live += 1
+            if replica.is_master:
+                masters.append(host.ip)
+        return masters, live
+
+    def check(self) -> List[Violation]:
+        now = self.cluster.now
+        masters, live = self._masters()
+        out: List[Violation] = []
+
+        if len(masters) > 1:
+            if self._split_since is None:
+                self._split_since = now
+            elif (not self._split_reported
+                  and now - self._split_since > self._split_grace):
+                self._split_reported = True
+                out.append(self._violation(
+                    f"{len(masters)} ns masters for "
+                    f"{now - self._split_since:.1f}s: {sorted(masters)}"))
+        else:
+            self._split_since = None
+            self._split_reported = False
+
+        quorum = (len(self.cluster.servers) // 2) + 1
+        can_elect = (live >= quorum and not masters
+                     and not self.cluster.net.partitioned)
+        if can_elect:
+            if self._masterless_since is None:
+                self._masterless_since = now
+            elif (not self._masterless_reported
+                  and now - self._masterless_since > self._masterless_grace):
+                self._masterless_reported = True
+                out.append(self._violation(
+                    f"no ns master for {now - self._masterless_since:.1f}s "
+                    f"with {live} replicas up"))
+        else:
+            self._masterless_since = None
+            self._masterless_reported = False
+        return out
+
+    def finish(self) -> List[Violation]:
+        masters, live = self._masters()
+        quorum = (len(self.cluster.servers) // 2) + 1
+        if live >= quorum and len(masters) != 1:
+            return [self._violation(
+                f"after quiesce: {len(masters)} masters with {live} "
+                f"replicas up")]
+        return []
+
+
+class AuditConvergenceMonitor(Monitor):
+    """Dead bindings must be audited out within the paper's bound.
+
+    Tracks every leaf binding the acting master holds whose referent is
+    no longer a live process; if one outlives
+    ``Params.chaos_audit_bound`` the RAS/name-service audit chain
+    (section 4.7) has failed to converge.  The clock pauses (resets)
+    while a partition is in force or mastership is unsettled -- the
+    audit cannot be expected to run across a split.
+    """
+
+    name = "audit_convergence"
+
+    def bind(self, cluster, injector, params, context) -> None:
+        super().bind(cluster, injector, params, context)
+        self._dead_since: Dict[tuple, float] = {}
+        self._server_ips = set(cluster.server_ips)
+
+    def check(self) -> List[Violation]:
+        now = self.cluster.now
+        if self.cluster.net.partitioned:
+            self._dead_since.clear()
+            return []
+        master = self._acting_master()
+        if master is None:
+            self._dead_since.clear()
+            return []
+        out: List[Violation] = []
+        seen_dead = set()
+        for path, ref in master.leaf_bindings():
+            # The audit chain covers server-hosted objects (the RAS runs
+            # on servers); settop-side refs age out by other means.
+            if ref.ip not in self._server_ips:
+                continue
+            if self._ref_alive(ref):
+                continue
+            key = (path, ref.ip, ref.port, tuple(ref.incarnation),
+                   ref.object_id)
+            seen_dead.add(key)
+            first = self._dead_since.setdefault(key, now)
+            if now - first > self.params.chaos_audit_bound:
+                out.append(self._violation(
+                    f"dead binding {path} -> {ref.ip}:{ref.port} not "
+                    f"audited out after {now - first:.1f}s"))
+                del self._dead_since[key]
+        for key in list(self._dead_since):
+            if key not in seen_dead:
+                del self._dead_since[key]
+        return out
+
+    def finish(self) -> List[Violation]:
+        master = self._acting_master()
+        if master is None:
+            return []
+        stale = []
+        for path, ref in master.leaf_bindings():
+            if ref.ip in self._server_ips and not self._ref_alive(ref):
+                stale.append(path)
+        if stale:
+            return [self._violation(
+                f"after quiesce: {len(stale)} dead binding(s) remain: "
+                f"{sorted(stale)[:5]}")]
+        return []
+
+    def _acting_master(self):
+        for host in self.cluster.servers:
+            proc = host.find_process("ns")
+            if proc is None or not proc.alive:
+                continue
+            replica = proc.attachments.get("ns_replica")
+            if replica is not None and replica.is_master:
+                return replica
+        return None
+
+    def _ref_alive(self, ref) -> bool:
+        try:
+            host = self.cluster.net.host_at(ref.ip)
+        except KeyError:
+            return False
+        if not host.up:
+            return False
+        return any(proc.alive and tuple(proc.incarnation) ==
+                   tuple(ref.incarnation) for proc in host.processes)
+
+
+class SettopServiceMonitor(Monitor):
+    """Every settop is served, or its outage is on an availability timeline.
+
+    A settop counts as *down* when its host is crashed or its current
+    app holds an open movie that is neither playing nor finished (a
+    mid-play stall).  Downtime itself is not a violation -- it is the
+    accounting the paper's section 9.5 availability numbers come from.
+    The violation is an outage that never closes: once faults heal and
+    the quiesce has run, every powered-on settop must be served again.
+    """
+
+    name = "settop_service"
+
+    def bind(self, cluster, injector, params, context) -> None:
+        super().bind(cluster, injector, params, context)
+        self.timelines: Dict[str, AvailabilityTimeline] = {}
+        for stk in context.get("settop_kernels", []):
+            self.timelines[stk.host.ip] = AvailabilityTimeline(cluster.kernel)
+
+    def _is_served(self, stk) -> bool:
+        if not stk.host.up:
+            return False
+        app = stk.app_manager.current_app if stk.app_manager else None
+        if app is None:
+            return True
+        stalled = (getattr(app, "movie", None) is not None
+                   and not getattr(app, "playing", False)
+                   and not getattr(app, "finished", False))
+        return not stalled
+
+    def check(self) -> List[Violation]:
+        for stk in self.context.get("settop_kernels", []):
+            timeline = self.timelines[stk.host.ip]
+            if self._is_served(stk):
+                timeline.mark_up()
+            else:
+                timeline.mark_down()
+        return []
+
+    def finish(self) -> List[Violation]:
+        self.check()
+        out = []
+        for stk in self.context.get("settop_kernels", []):
+            if stk.host.up and not self.timelines[stk.host.ip].is_up:
+                outage = self.timelines[stk.host.ip].outages()[-1]
+                out.append(self._violation(
+                    f"settop {stk.host.ip} still unserved after quiesce "
+                    f"(outage open since t={outage[0]:.1f})"))
+        return out
+
+    def summaries(self) -> Dict[str, dict]:
+        return {ip: tl.summary() for ip, tl in sorted(self.timelines.items())}
+
+
+class FutureLeakMonitor(Monitor):
+    """No Future survives its owner's crash (section 3.2.1).
+
+    ``Process.kill`` cancels every task the incarnation owned and leaves
+    the set on ``cancelled_tasks``; a task still pending ``LEAK_GRACE``
+    seconds after a chaos kill is a Future that outlived its process --
+    exactly the stale-incarnation hazard object references exist to
+    prevent.
+    """
+
+    name = "future_leak"
+
+    def bind(self, cluster, injector, params, context) -> None:
+        super().bind(cluster, injector, params, context)
+        self._checked = 0   # prefix of injector.killed already verified
+
+    def check(self) -> List[Violation]:
+        now = self.cluster.now
+        out: List[Violation] = []
+        records = self.injector.killed
+        while self._checked < len(records):
+            record = records[self._checked]
+            proc = record["proc"]
+            if proc.alive:
+                # Snapshotted before the kill landed but survived (e.g. a
+                # process the SSC cascade did not reach): nothing to check.
+                self._checked += 1
+                continue
+            if now - record["t"] <= LEAK_GRACE:
+                break   # too fresh; re-examine on a later probe
+            leaked = [t for t in proc.cancelled_tasks if not t.done()]
+            if leaked:
+                names = sorted(t.name or "?" for t in leaked)[:5]
+                out.append(self._violation(
+                    f"process {proc.name} (pid {proc.pid}) leaked "
+                    f"{len(leaked)} task(s) across its crash: {names}"))
+            self._checked += 1
+        return out
+
+    def finish(self) -> List[Violation]:
+        out: List[Violation] = []
+        for record in self.injector.killed[self._checked:]:
+            proc = record["proc"]
+            if proc.alive:
+                continue
+            leaked = [t for t in proc.cancelled_tasks if not t.done()]
+            if leaked:
+                names = sorted(t.name or "?" for t in leaked)[:5]
+                out.append(self._violation(
+                    f"process {proc.name} (pid {proc.pid}) leaked "
+                    f"{len(leaked)} task(s) across its crash: {names}"))
+        self._checked = len(self.injector.killed)
+        return out
+
+
+def default_monitors() -> List[Monitor]:
+    """The full invariant catalog, fresh instances."""
+    return [CscPrimaryMonitor(), NsAgreementMonitor(),
+            AuditConvergenceMonitor(), SettopServiceMonitor(),
+            FutureLeakMonitor()]
+
+
+class MonitorBus:
+    """Runs every monitor on a cadence and collects violations.
+
+    Violations are also emitted as ``chaos.violation`` trace events, so
+    the run's digest distinguishes a clean run from a failing one.
+    """
+
+    def __init__(self, cluster: Cluster, injector: FaultInjector,
+                 params: Params, context: Optional[dict] = None,
+                 monitors: Optional[List[Monitor]] = None):
+        self.cluster = cluster
+        self.monitors = monitors if monitors is not None else default_monitors()
+        self.violations: List[Violation] = []
+        for monitor in self.monitors:
+            monitor.bind(cluster, injector, params, context or {})
+
+    def probe(self) -> int:
+        """One periodic sweep; returns the cumulative violation count."""
+        for monitor in self.monitors:
+            self._record(monitor.check())
+        return len(self.violations)
+
+    def finish(self) -> int:
+        """The final sweep after the quiesce."""
+        for monitor in self.monitors:
+            self._record(monitor.finish())
+        return len(self.violations)
+
+    def _record(self, found: List[Violation]) -> None:
+        for violation in found:
+            self.cluster.trace.emit("chaos", "violation",
+                                    monitor=violation.monitor,
+                                    detail=violation.detail)
+            self.violations.append(violation)
+
+    def monitor(self, name: str) -> Monitor:
+        for m in self.monitors:
+            if m.name == name:
+                return m
+        raise KeyError(name)

@@ -11,6 +11,7 @@ writing any code:
     python -m repro inventory             # Figure 2 service census
     python -m repro lint src/repro        # determinism & layering linter
     python -m repro bench                 # hot-path micro-benchmarks
+    python -m repro chaos --seeds 10      # fault-injection seed sweep
     python -m repro --determinism-check   # same-seed double-run trace diff
 """
 
@@ -105,6 +106,53 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.chaos import (FaultSchedule, minimize_schedule, run_seed,
+                             write_minimal)
+
+    schedule = None
+    if args.schedule:
+        schedule = FaultSchedule.load(args.schedule)
+        print(f"loaded schedule {args.schedule}: {len(schedule)} fault(s), "
+              f"horizon {schedule.horizon}s")
+    seeds = list(range(args.seed_base, args.seed_base + args.seeds))
+    failures = 0
+    for seed in seeds:
+        runs = 2 if args.double_run else 1
+        results = [run_seed(seed, n_faults=args.faults, horizon=args.horizon,
+                            settops=args.settops, schedule=schedule)
+                   for _ in range(runs)]
+        result = results[0]
+        status = "ok" if result.ok else "FAIL"
+        print(f"seed {seed}: {status}  faults={len(result.schedule)} "
+              f"viewer_ops={result.viewer_ops} digest={result.digest[:16]}")
+        if args.double_run:
+            if results[1].digest != result.digest:
+                print(f"  DETERMINISM VIOLATION: re-run digest "
+                      f"{results[1].digest[:16]} != {result.digest[:16]}",
+                      file=sys.stderr)
+                failures += 1
+            else:
+                print(f"  replay digest identical ({result.digest[:16]})")
+        for violation in result.violations:
+            print(f"  [{violation.monitor}] t={violation.time:.1f} "
+                  f"{violation.detail}")
+        if not result.ok:
+            failures += 1
+            print(f"  shrinking {len(result.schedule)}-fault schedule ...")
+            minimized = minimize_schedule(
+                result.schedule, seed, failing=result,
+                settops=args.settops)
+            path = write_minimal(minimized, args.out)
+            print(f"  minimal failing schedule: {len(minimized.schedule)} "
+                  f"fault(s) after {minimized.runs} re-run(s) -> {path}")
+            for line in minimized.schedule.describe():
+                print(f"    {line}")
+    print(f"\n{len(seeds)} seed(s): {len(seeds) - failures} ok, "
+          f"{failures} failing")
+    return 1 if failures else 0
+
+
 def _run_determinism_check(args) -> int:
     from repro.analysis import double_run_diff
     diff = double_run_diff(args.seed, settops=args.settops,
@@ -150,7 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
     inventory.set_defaults(fn=_cmd_inventory)
 
     lint = sub.add_parser(
-        "lint", help="determinism & distributed-invariant linter (D001-D008)")
+        "lint", help="determinism & distributed-invariant linter (D001-D009)")
     lint.add_argument("paths", nargs="*", default=["src/repro"],
                       help="files or directories to lint (default src/repro)")
     lint.add_argument("--stats", action="store_true",
@@ -165,6 +213,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="baseline JSON path (default BENCH_micro.json; "
                             "empty string to skip writing)")
     bench.set_defaults(fn=_cmd_bench)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection sweeps with invariant "
+                      "monitors (repro.chaos)")
+    chaos.add_argument("--seeds", type=int, default=5,
+                       help="number of seeds to sweep (default 5)")
+    chaos.add_argument("--seed-base", type=int, default=0,
+                       help="first seed of the sweep (default 0)")
+    chaos.add_argument("--faults", type=int, default=8,
+                       help="faults per generated schedule (default 8)")
+    chaos.add_argument("--horizon", type=float, default=240.0,
+                       help="seconds of active fault injection (default 240)")
+    chaos.add_argument("--settops", type=int, default=4,
+                       help="settops under viewer load (default 4)")
+    chaos.add_argument("--schedule", default="",
+                       help="replay a schedule JSON instead of generating "
+                            "(e.g. a minimized repro from benchmarks/out/)")
+    chaos.add_argument("--out", default="benchmarks/out",
+                       help="directory for minimized failing schedules")
+    chaos.add_argument("--double-run", action="store_true",
+                       help="run each seed twice and require identical "
+                            "trace digests")
+    chaos.set_defaults(fn=_cmd_chaos)
     return parser
 
 

@@ -151,6 +151,16 @@ class Cluster:
         deadline = self.kernel.now + timeout
         names = [f"svc/ras/{ip}" for ip in self.server_ips
                  if "ras" in self.base_services]
+        # Every base service's replica bindings, not just RAS: with
+        # jittered-exponential retry backoff, a service can finish its
+        # bind several (simulated) seconds after its peers, and "settled"
+        # must mean all of them are resolvable.
+        if "auth" in self.base_services:
+            names += [f"svc/auth/{ip}" for ip in self.server_ips]
+        if "db" in self.base_services:
+            names += [f"svc/db-all/{ip}" for ip in self.server_ips]
+        if "settopmgr" in self.base_services:
+            names += [f"svc/settopmgr/{n}" for n in self.neighborhoods]
         names += list(extra_names or [])
         checker = self.client_on(self.servers[0], name="settle-checker")
         try:
@@ -254,6 +264,17 @@ class Cluster:
                         service=process_name)
         proc.kill()
         return True
+
+    def crash_settop(self, index: int) -> Host:
+        """Fail-stop one settop (by position in ``self.settops``)."""
+        host = self.settops[index]
+        self.trace.emit("fault", "settop_crash", host=host.name)
+        host.crash()
+        return host
+
+    def kill_ssc(self, index: int) -> bool:
+        """Kill a server's SSC: every service it started dies with it."""
+        return self.kill_service(index, "ssc")
 
     def find_service(self, index: int, process_name: str) -> Optional[Process]:
         return self.servers[index].find_process(process_name)

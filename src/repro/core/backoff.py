@@ -1,0 +1,65 @@
+"""Shared seeded jittered-exponential retry backoff.
+
+Every retry loop in the system used to sleep a fixed 1.0 s between
+attempts (``register_objects``, the bind/rebind paths).  Fixed delays
+phase-lock: when a server reboot restarts twenty services at once, they
+all retry at the same instants and hammer the name service in lockstep
+-- the recovery-storm problem of paper section 8.2, but self-inflicted.
+
+:class:`Backoff` is the one implementation those loops share.  Delays
+grow geometrically from ``Params.retry_backoff_base`` by
+``retry_backoff_multiplier`` up to ``retry_backoff_max``, each draw
+jittered by ``+/- retry_backoff_jitter`` of itself from a *seeded*
+stream, so two runs with the same seed retry at identical times (the
+repo's byte-identical-trace invariant) while distinct services spread
+out within a run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.params import Params
+from repro.sim.rand import SeededRandom
+
+
+class Backoff:
+    """One retry loop's delay state; create one per loop, reset on success."""
+
+    def __init__(self, params: Params, rng: SeededRandom,
+                 base: Optional[float] = None,
+                 multiplier: Optional[float] = None,
+                 max_delay: Optional[float] = None,
+                 jitter: Optional[float] = None):
+        self.base = base if base is not None else params.retry_backoff_base
+        self.multiplier = (multiplier if multiplier is not None
+                           else params.retry_backoff_multiplier)
+        self.max_delay = (max_delay if max_delay is not None
+                          else params.retry_backoff_max)
+        self.jitter = (jitter if jitter is not None
+                       else params.retry_backoff_jitter)
+        self._rng = rng
+        self.attempts = 0
+
+    def next_delay(self) -> float:
+        """The delay to sleep before the next retry (advances the state)."""
+        delay = min(self.base * (self.multiplier ** self.attempts),
+                    self.max_delay)
+        self.attempts += 1
+        return jittered(self._rng, delay, self.jitter)
+
+    def reset(self) -> None:
+        """Back to the base delay (call after a successful attempt)."""
+        self.attempts = 0
+
+
+def jittered(rng: SeededRandom, delay: float, fraction: float) -> float:
+    """``delay`` spread uniformly over ``+/- fraction`` of itself.
+
+    The one jitter recipe both the backoff helper and the rebinding
+    proxy (:mod:`repro.core.rebind`) use, so "jittered" means the same
+    distribution everywhere.
+    """
+    if fraction <= 0 or delay <= 0:
+        return delay
+    return rng.uniform(delay * (1.0 - fraction), delay * (1.0 + fraction))

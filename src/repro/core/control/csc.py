@@ -75,6 +75,15 @@ class ClusterServiceController(Service):
                                           on_demote=self._on_demote)
         self.spawn_task(self.binder.run(), name="csc-binder").detach()
 
+    @property
+    def is_primary(self) -> bool:
+        """Monitor probe: is this replica currently acting as primary?
+
+        The chaos invariant "at most one CSC primary" reads this rather
+        than poking ``_is_primary`` on internals.
+        """
+        return self._is_primary
+
     # -- primary duties ----------------------------------------------------
 
     def _on_promote(self):

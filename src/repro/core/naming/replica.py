@@ -80,6 +80,7 @@ class NameReplicaProcess:
         self.last_heartbeat = self.kernel.now
         self._election_timeout = self._new_timeout()
         self._fetching_state = False
+        self._fetch_force = False
         # -- metrics ------------------------------------------------------
         self.resolves_served = 0
         self.updates_forwarded = 0
@@ -99,6 +100,22 @@ class NameReplicaProcess:
     @property
     def quorum(self) -> int:
         return len(self.replica_ips) // 2 + 1
+
+    @property
+    def is_master(self) -> bool:
+        """Monitor probe: is this replica the acting master?"""
+        return self.role == "master" and self.process.alive
+
+    def leaf_bindings(self) -> List[Tuple[str, ObjectRef]]:
+        """Monitor probe: the auditable leaf bindings of this replica's view.
+
+        Only incarnation-specific references are returned -- wildcard
+        (bootstrap) references never go stale, so the dead-binding audit
+        (section 4.7) and the chaos audit-convergence monitor both ignore
+        them.
+        """
+        return [(path, ref) for path, ref in self.store.iter_leaf_bindings()
+                if ref.incarnation != ANY_INCARNATION]
 
     def context_ref(self, path: str, kind: str = "context") -> ObjectRef:
         """A persistent reference to one of this replica's contexts.
@@ -369,7 +386,17 @@ class NameReplicaProcess:
     # state transfer
     # ------------------------------------------------------------------
 
-    def _schedule_state_fetch(self) -> None:
+    def _schedule_state_fetch(self, force: bool = False) -> None:
+        """``force`` bypasses the sequence-number guard in the fetch.
+
+        Sequence numbers only order updates within one master's reign; a
+        replica that spent a partition on the minority side may carry a
+        *forked* history whose seq is higher than the surviving master's
+        (its own audit unbinds inflated it).  After adopting a new
+        master the store must be resynced unconditionally, or local
+        reads serve the fork forever.
+        """
+        self._fetch_force = self._fetch_force or force
         if self._fetching_state or self.master_ip in (None, self.ip):
             return
         self._fetching_state = True
@@ -380,9 +407,10 @@ class NameReplicaProcess:
             snap = await self.runtime.invoke(
                 self.peer_replica_ref(self.master_ip), "fetchState", (),
                 timeout=self.params.call_timeout)
-            if snap["seq"] > self.store.applied_seq:
+            if self._fetch_force or snap["seq"] > self.store.applied_seq:
                 self.store.load_snapshot(snap)
                 self._sync_context_exports()
+                self._fetch_force = False
                 self._emit("state_fetched", seq=snap["seq"])
         except (ServiceUnavailable, CancelledError):
             pass
@@ -525,6 +553,11 @@ class NameReplicaProcess:
             if master_ip != self.ip:
                 self.role = "slave"
             self._emit("adopted_master", epoch=epoch, master=master_ip)
+            # A new reign: our history may have forked from the new
+            # master's (minority-side updates during a partition), and
+            # seq comparison cannot detect that -- resync unconditionally.
+            if master_ip != self.ip:
+                self._schedule_state_fetch(force=True)
         self.last_heartbeat = self.kernel.now
         if seq > self.store.applied_seq:
             self._schedule_state_fetch()
@@ -558,20 +591,12 @@ class NameReplicaProcess:
             await self._audit_once()
 
     async def _audit_once(self) -> None:
-        bindings = [(path, ref) for path, ref in self.store.iter_leaf_bindings()
-                    if ref.incarnation != ANY_INCARNATION]
+        bindings = self.leaf_bindings()
         if not bindings:
             return
-        try:
-            ras_ref = await self.op_resolve(f"svc/ras/{self.ip}", self.ip)
-        except (NamingError, ServiceUnavailable):
-            return  # RAS not registered yet (cluster still booting)
         refs = [ref for _path, ref in bindings]
-        try:
-            statuses = await self.runtime.invoke(
-                ras_ref, "checkStatus", (refs,),
-                timeout=self.params.ras_call_timeout)
-        except ServiceUnavailable:
+        statuses = await self._check_status(refs)
+        if statuses is None:
             return
         for (path, ref), status in zip(bindings, statuses):
             if status != "dead":
@@ -589,6 +614,32 @@ class NameReplicaProcess:
                     self._emit("audit_removed", path=path)
                 except NamingError:
                     pass
+
+    async def _check_status(self, refs: List[ObjectRef]) -> Optional[List[str]]:
+        """Ask a RAS replica about ``refs``: local first, peers as fallback.
+
+        The local RAS is the cheapest oracle, but the audit must not
+        have a single-point dependency on it: a gray (slow-but-alive)
+        master host stretches the loopback round trip past
+        ``ras_call_timeout``, and without a fallback every audit cycle
+        times out and dead bindings linger cluster-wide.  Peer RAS
+        replicas track remote liveness through their own peer polls, so
+        any of them can answer.
+        """
+        candidates = [self.ip] + [ip for ip in self.replica_ips
+                                  if ip != self.ip]
+        for ip in candidates:
+            try:
+                ras_ref = await self.op_resolve(f"svc/ras/{ip}", self.ip)
+            except (NamingError, ServiceUnavailable):
+                continue  # RAS not registered yet (booting, or host down)
+            try:
+                return await self.runtime.invoke(
+                    ras_ref, "checkStatus", (refs,),
+                    timeout=self.params.ras_call_timeout)
+            except ServiceUnavailable:
+                continue
+        return None
 
 
 class _ReplicaServant:

@@ -46,6 +46,31 @@ class Params:
     rebind_backoff: float = 0.0       # 0 = immediate re-resolve (section 8.2)
     call_timeout: float = 3.0
 
+    # -- retry backoff (core/backoff.py) ---------------------------------
+    # Start-up races (notifyReady before the SSC listens, bind before the
+    # name service elects) retry through one shared jittered-exponential
+    # helper instead of ad-hoc sleep(1.0) loops, so a restart storm of N
+    # services spreads its retries instead of phase-locking.
+    retry_backoff_base: float = 1.0        # first retry delay (seconds)
+    retry_backoff_multiplier: float = 2.0  # growth per failed attempt
+    retry_backoff_max: float = 8.0         # delay cap
+    retry_backoff_jitter: float = 0.25     # +/- fraction drawn per retry
+
+    # -- chaos engine (repro.chaos) ---------------------------------------
+    chaos_monitor_interval: float = 5.0    # invariant-monitor probe cadence
+    chaos_audit_slack: float = 45.0        # grace beyond the audit polls
+    chaos_settle_slack: float = 60.0       # quiesce beyond 3x max_failover
+
+    @property
+    def chaos_audit_bound(self) -> float:
+        """How long a dead binding may linger before the monitor trips.
+
+        One name-service audit poll plus one RAS peer poll is the paper's
+        detection path (section 4.7); the slack absorbs call timeouts and
+        the re-audit after an election.
+        """
+        return self.ns_audit_poll + self.ras_peer_poll + self.chaos_audit_slack
+
     # -- media -------------------------------------------------------------
     movie_bitrate_bps: float = 3_000_000   # MPEG-1/2 era CBR stream
     stream_chunk_seconds: float = 1.0      # MDS delivery granularity

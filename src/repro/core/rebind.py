@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.core.backoff import jittered
 from repro.core.naming.client import NameClient
 from repro.core.naming.errors import NamingError
 from repro.core.params import Params
@@ -93,8 +94,9 @@ class RebindingProxy:
     def _retry_delay(self, backoff: float) -> float:
         if backoff <= 0:
             return 0.5  # bare re-resolve pacing; the storm case
-        # Jittered backoff spreads the re-resolve herd (section 8.2).
-        return self._rng.uniform(backoff * 0.5, backoff * 1.5)
+        # Jittered backoff spreads the re-resolve herd (section 8.2);
+        # same jitter recipe as every other retry loop (core/backoff.py).
+        return jittered(self._rng, backoff, 0.5)
 
     def __getattr__(self, name: str):
         if name.startswith("_"):

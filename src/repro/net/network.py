@@ -57,10 +57,17 @@ class Network:
         self._interfaces: Dict[str, _Interface] = {}
         self._partitions: List[Tuple[Set[str], Set[str]]] = []
         self._loss: Dict[str, Tuple[float, Any]] = {}  # ip -> (prob, rng)
+        # Chaos fault hooks (repro.chaos is the only sanctioned caller
+        # outside tests -- lint rule D009).  All empty-dict guarded so the
+        # fault-free hot path pays one falsy check per send.
+        self._delay: Dict[str, float] = {}          # dst ip -> extra seconds
+        self._dup: Dict[str, Tuple[float, Any]] = {}  # dst ip -> (prob, rng)
+        self._gray: Dict[str, float] = {}           # src ip -> reply lag
         self.messages_sent: int = 0
         self.messages_delivered: int = 0
         self.messages_dropped: int = 0
         self.messages_lost: int = 0
+        self.messages_duplicated: int = 0
         # kind -> [count, bytes]: one dict probe per send instead of four.
         self._kind_stats: Dict[str, List[int]] = {}
 
@@ -159,6 +166,12 @@ class Network:
     def heal_partitions(self) -> None:
         self._partitions = []
 
+    @property
+    def partitioned(self) -> bool:
+        """Whether any partition is currently in force (monitors pause
+        convergence clocks while the network is split)."""
+        return bool(self._partitions)
+
     # -- loss injection ------------------------------------------------------
 
     def set_loss(self, ip: str, probability: float, rng) -> None:
@@ -177,6 +190,61 @@ class Network:
 
     def clear_loss(self) -> None:
         self._loss.clear()
+
+    # -- chaos fault hooks (delay / duplication / gray failure) ----------
+
+    def set_delay(self, ip: str, extra_seconds: float) -> None:
+        """Add a fixed extra delay to every datagram delivered *to* ``ip``.
+
+        Models plant congestion or a slow last hop.  Zero removes the
+        fault.  Injected by :mod:`repro.chaos`; direct calls elsewhere are
+        a lint violation (D009) so every fault shows up in the trace.
+        """
+        if extra_seconds < 0:
+            raise ValueError("extra delay must be >= 0")
+        if extra_seconds == 0:
+            self._delay.pop(ip, None)
+        else:
+            self._delay[ip] = extra_seconds
+
+    def set_duplicate(self, ip: str, probability: float, rng) -> None:
+        """Duplicate datagrams delivered to ``ip`` with the given probability.
+
+        The copy arrives one propagation latency after the original, as a
+        plant echo would.  Zero probability removes the fault.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("duplication probability must be in [0, 1]")
+        if probability == 0.0:
+            self._dup.pop(ip, None)
+        else:
+            self._dup[ip] = (probability, rng)
+
+    def set_gray(self, ip: str, reply_lag: float) -> None:
+        """Gray failure: the host at ``ip`` accepts calls but replies slowly.
+
+        Every datagram *sent by* ``ip`` is delayed ``reply_lag`` extra
+        seconds, so the replica looks alive to liveness checks while its
+        clients watch calls crawl toward their timeouts -- the failure
+        mode audits are worst at catching.  Zero removes the fault.
+        """
+        if reply_lag < 0:
+            raise ValueError("reply lag must be >= 0")
+        if reply_lag == 0:
+            self._gray.pop(ip, None)
+        else:
+            self._gray[ip] = reply_lag
+
+    def clear_faults(self) -> None:
+        """Remove every injected loss/delay/duplication/gray fault.
+
+        Partitions are healed separately (:meth:`heal_partitions`): a
+        schedule may want the plant noise gone while a split remains.
+        """
+        self._loss.clear()
+        self._delay.clear()
+        self._dup.clear()
+        self._gray.clear()
 
     def _lose(self, dst_ip: str) -> bool:
         entry = self._loss.get(dst_ip)
@@ -220,7 +288,28 @@ class Network:
         else:
             # Loopback: no wire crossed; charge a scheduling quantum only.
             delay = 1e-5
+        delay += self._fault_delay(src_ip, dst_ip)
         self.kernel.call_later(delay, self._deliver, msg)
+        if self._dup:
+            self._maybe_duplicate(msg, delay)
+
+    def _fault_delay(self, src_ip: str, dst_ip: str) -> float:
+        """Extra one-way delay from injected delay/gray faults (usually 0)."""
+        extra = 0.0
+        if self._delay:
+            extra += self._delay.get(dst_ip, 0.0)
+        if self._gray:
+            extra += self._gray.get(src_ip, 0.0)
+        return extra
+
+    def _maybe_duplicate(self, msg: Message, delay: float) -> None:
+        entry = self._dup.get(msg.dst[0])
+        if entry is None:
+            return
+        probability, rng = entry
+        if rng.random() < probability:
+            self.messages_duplicated += 1
+            self.kernel.call_later(delay + FDDI_LATENCY, self._deliver, msg)
 
     def _deliver(self, msg: Message) -> None:
         dst_ip, dst_port = msg.dst
@@ -284,7 +373,8 @@ class Network:
                 or not dst_iface.in_link.has_reservation(reservation_key)):
             self.messages_dropped += 1
             return False
-        self.kernel.call_later(dst_iface.in_link.latency, self._deliver, msg)
+        delay = dst_iface.in_link.latency + self._fault_delay(src_ip, dst_ip)
+        self.kernel.call_later(delay, self._deliver, msg)
         return True
 
     def broadcast(self, src_ip: str, dst_ips: List[str], port: int,
@@ -305,14 +395,20 @@ class Network:
         for dst_ip in dst_ips:
             iface = self._interfaces.get(dst_ip)
             if iface is None or not self.reachable(src_ip, dst_ip):
+                # Parity with send(): an unknown or partitioned receiver
+                # is a dropped datagram, not a silent skip.
+                self._account(kind, 0)
+                self.messages_dropped += 1
                 continue
             msg = Message(src=(src_ip, 0), dst=(dst_ip, port), kind=kind,
                           payload=payload, payload_bytes=payload_bytes)
             # One copy on the wire regardless of population: count the
             # message but charge no per-receiver bytes.
             self._account(kind, 0)
-            self.kernel.call_later(delay + iface.in_link.latency,
-                                   self._deliver, msg)
+            self.kernel.call_later(
+                delay + iface.in_link.latency
+                + self._fault_delay(src_ip, dst_ip),
+                self._deliver, msg)
             reached += 1
         return reached
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.core.backoff import Backoff
 from repro.core.control.registry import ServiceEnv
 from repro.core.control.ssc import ssc_ref
 from repro.core.naming.client import NameClient
@@ -37,8 +38,20 @@ class Service:
         self.params = env.params
         self.runtime = OCSRuntime(process, env.network)
         self.names = NameClient(self.runtime, env.ns_ip, env.params)
+        # Monitors (repro.chaos) read service state through the process,
+        # the same side door the ns replica uses ("ns_replica").
+        process.attachments.setdefault("service", self)
         self._replica_bindings: List[dict] = []
         self._watchdog_task = None
+        # Per-incarnation substream: retries stay uncorrelated between
+        # services (no phase-lock after a mass restart) yet byte-stable
+        # across same-seed runs (pids are deterministic).
+        self._backoff_rng = env.rng.stream(
+            f"backoff-{self.service_name}-{process.pid}")
+
+    def retry_backoff(self) -> Backoff:
+        """A fresh jittered-exponential backoff for one retry loop."""
+        return Backoff(self.params, self._backoff_rng)
 
     async def run(self) -> None:
         """Process main: start, then serve until killed."""
@@ -52,6 +65,7 @@ class Service:
 
     async def register_objects(self, refs: List[ObjectRef]) -> None:
         """``notifyReady`` to the local SSC so the RAS can audit us."""
+        backoff = self.retry_backoff()
         while True:
             try:
                 await self.runtime.invoke(
@@ -60,7 +74,7 @@ class Service:
                     timeout=self.params.call_timeout)
                 return
             except (ServiceUnavailable, OCSError):
-                await self.kernel.sleep(1.0)
+                await self.kernel.sleep(backoff.next_delay())
 
     async def bind_as_replica(self, context: str, member: str,
                               ref: ObjectRef, selector: str = "sameserver",
@@ -89,6 +103,7 @@ class Service:
                                  parent: str) -> None:
         path = f"{parent}/{context}" if parent else context
         name = f"{path}/{member}"
+        backoff = self.retry_backoff()
         while True:
             try:
                 if parent:
@@ -96,7 +111,7 @@ class Service:
                 await self.names.ensure_context(path, replicated=True,
                                                 selector=selector)
             except (NamingError, ServiceUnavailable):
-                await self.kernel.sleep(1.0)
+                await self.kernel.sleep(backoff.next_delay())
                 continue
             try:
                 await self.names.bind(name, ref)
@@ -104,7 +119,7 @@ class Service:
             except AlreadyBound:
                 pass
             except (NamingError, ServiceUnavailable):
-                await self.kernel.sleep(1.0)
+                await self.kernel.sleep(backoff.next_delay())
                 continue
             # Somebody holds the member name.  Our own previous
             # incarnation's stale binding is replaced; a binding on
@@ -119,7 +134,7 @@ class Service:
             except AlreadyBound:
                 raise
             except (NamingError, ServiceUnavailable):
-                await self.kernel.sleep(1.0)
+                await self.kernel.sleep(backoff.next_delay())
 
     async def _binding_watchdog(self) -> None:
         """Re-assert this replica's bindings if the name space lost them."""

@@ -60,6 +60,10 @@ class Process:
         self.children: List["Process"] = []
         self.alive = True
         self.exit_status: Optional[str] = None
+        # Snapshot of the tasks cancelled at death, retained so a chaos
+        # monitor can verify none of them is still pending after a crash
+        # (a leaked Future would keep serving from a dead incarnation).
+        self.cancelled_tasks: List[Task] = []
         # Incarnation: (boot time, pid) -- unique even when two processes
         # start at the same simulated instant.
         self.incarnation = (host.kernel.now, self.pid)
@@ -98,9 +102,10 @@ class Process:
         self.exit_status = status
         for child in list(self.children):
             child.kill(status=f"parent {self.name} exited")
-        for task in self._tasks:
+        tasks, self._tasks = self._tasks, []
+        for task in tasks:
             task.cancel()
-        self._tasks = []
+        self.cancelled_tasks = tasks
         if self.parent is not None and self in self.parent.children:
             self.parent.children.remove(self)
         watchers, self._exit_watchers = self._exit_watchers, []
@@ -164,6 +169,7 @@ class Host:
         self.disk = Disk()
         self.processes: List[Process] = []
         self._boot_hooks: List[Callable[["Host"], None]] = []
+        self._crash_hooks: List[Callable[["Host"], None]] = []
         self.boot_count = 1
 
     def spawn(self, name: str, parent: Optional[Process] = None) -> Process:
@@ -181,6 +187,8 @@ class Host:
         for proc in list(self.processes):
             proc.kill(status="host crashed")
         self.processes = []
+        for hook in list(self._crash_hooks):
+            hook(self)
 
     def boot(self) -> None:
         """Bring a crashed host back up and run its boot hooks (init)."""
@@ -193,6 +201,14 @@ class Host:
 
     def add_boot_hook(self, fn: Callable[["Host"], None]) -> None:
         self._boot_hooks.append(fn)
+
+    def add_crash_hook(self, fn: Callable[["Host"], None]) -> None:
+        """Register an observer called after this host fail-stops.
+
+        Chaos monitors use it to timestamp outages; hooks must only
+        observe (scheduling work from one would perturb event order
+        relative to an uninstrumented run)."""
+        self._crash_hooks.append(fn)
 
     def find_process(self, name: str) -> Optional[Process]:
         for proc in self.processes:

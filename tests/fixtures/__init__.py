@@ -1,0 +1,2 @@
+"""Shared test fixtures that are code, not data (see lint_fixtures/ for
+the linter's seeded-violation files)."""

@@ -1,0 +1,39 @@
+"""Deliberate invariant sabotage, for testing that the monitors notice.
+
+The chaos monitors are only trustworthy if a *broken* cluster actually
+trips them.  ``broken_quorum()`` manufactures a real split-brain: with
+the name-service quorum forced to 1, any replica that loses contact
+with the master elects itself, so a partition yields two masters -- the
+exact failure the majority rule exists to prevent (and which the
+``ns_agreement`` monitor must report).
+
+The patch is process-global (it swaps a class property), so it is a
+context manager and chaos runs must happen strictly inside the block.
+"""
+
+from contextlib import contextmanager
+
+from repro.core.naming.replica import NameReplicaProcess
+from repro.chaos import Fault, FaultSchedule
+
+#: A schedule built to exploit the broken quorum: partition server 0
+#: away from its peers mid-run, with service kills as realistic noise
+#: around it, then heal.  Under the sabotage, the minority side elects
+#: its own NS master during the split.
+SPLIT_BRAIN_SCHEDULE = FaultSchedule(faults=(
+    Fault(20.0, "kill_service", {"server": 1, "service": "mds"}),
+    Fault(30.0, "partition", {"servers_a": [0], "servers_b": [1, 2]}),
+    Fault(55.0, "kill_service", {"server": 2, "service": "vod"}),
+    Fault(110.0, "heal", {}),
+), horizon=150.0)
+
+
+@contextmanager
+def broken_quorum():
+    """Force the name-service quorum to 1 (split-brain becomes possible)."""
+    original = NameReplicaProcess.quorum
+    NameReplicaProcess.quorum = property(lambda self: 1)
+    try:
+        yield
+    finally:
+        NameReplicaProcess.quorum = original

@@ -1,0 +1,14 @@
+"""D009 fixture: raw fault-surface calls outside repro.chaos."""
+
+
+def storm(net, rng):
+    net.partition({"10.0.0.1"}, {"10.0.0.2"})          # line 5: D009
+    net.set_loss("10.0.0.1", 0.5, rng)                 # line 6: D009
+    net.set_gray("10.0.0.2", 1.0)                      # line 7: D009
+    net.heal_partitions()                              # line 8: D009
+    net.clear_faults()                                 # line 9: D009
+
+
+def not_the_network(path):
+    head, _sep, tail = path.partition("/")   # str.partition: 1 arg, clean
+    return head, tail

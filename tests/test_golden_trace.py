@@ -13,16 +13,24 @@ import hashlib
 
 from repro.analysis.determinism import reference_scenario_trace
 
-# sha256 of "\n".join(trace lines) for the reference failover scenario,
-# captured before the hot-path pass (PR 2) touched the kernel.
+# sha256 of "\n".join(trace lines) for the reference failover scenario.
+# Re-recorded for PR 3: the shared jittered-exponential backoff replaced
+# the fixed sleep(1.0) retry loops (moving retry timestamps),
+# ``Cluster.settle`` now waits for every base service's bindings (not
+# just RAS) before declaring the cluster up, and NS replicas force a
+# state fetch when they adopt a new master (split-brain hardening found
+# by the chaos sweep -- adds a boot-time state_fetched event per slave).
+# All are behaviour changes, not scheduler regressions; the PR 2 kernel
+# fast path itself is unchanged.  These digests pin the new event order
+# against drift.
 GOLDEN = {
     # (seed, settops, duration): (n_lines, sha256)
     (3, 2, 60.0): (
-        280,
-        "471133cd319028b4c60ce8f71e40e048509c136812a388cd50b316b3827276f5"),
+        282,
+        "6c4f2f73432ce938645937e131a739df203683e1ad43ca681bf575550281fde8"),
     (7, 2, 60.0): (
-        293,
-        "35965a79b3a04ce3e3a50031d45febb12074822f08f70080efa45d2a08f62662"),
+        305,
+        "c6d84cefd1183eafcc756391816e63a99784eaa82607fc16be2c9622740ea069"),
 }
 
 

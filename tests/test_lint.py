@@ -96,6 +96,23 @@ class TestRuleFixtures:
         violations = lint_fixture("d008_leak.py")
         assert hits(violations, "D008") == [("D008", 5), ("D008", 6)]
 
+    def test_d009_raw_fault_surface(self):
+        violations = lint_fixture("d009_rawfault.py")
+        assert hits(violations, "D009") == [("D009", 5), ("D009", 6),
+                                            ("D009", 7), ("D009", 8),
+                                            ("D009", 9)]
+        # str.partition (1 arg, line 13) is not the Network surface
+        assert all(v.line != 13 for v in violations)
+
+    def test_d009_exempts_chaos_net_and_tests(self):
+        source = "net.heal_partitions()\n"
+        for relpath in ("chaos/injector.py", "net/network.py",
+                        "test_partitions.py"):
+            assert lint_source(source, relpath, default_rules(),
+                               relpath=relpath) == [], relpath
+        assert len(lint_source(source, "x.py", default_rules(),
+                               relpath="cluster/builder.py")) == 1
+
 
 class TestSuppressions:
     def test_noqa_fixture(self):
@@ -127,9 +144,9 @@ class TestEngine:
         assert files == sorted(set(files))
         assert all(f.endswith(".py") for f in files)
 
-    def test_rules_by_id_covers_d001_to_d008(self):
+    def test_rules_by_id_covers_d001_to_d009(self):
         ids = sorted(rules_by_id())
-        assert ids == [f"D00{i}" for i in range(1, 9)]
+        assert ids == [f"D00{i}" for i in range(1, 10)]
 
     def test_stats_lines(self):
         report = lint_paths([os.path.join(FIXTURES, "d007_print.py")])

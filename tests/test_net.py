@@ -247,3 +247,143 @@ class TestLossInjection:
         make_server(kernel, net, 0)
         with pytest.raises(ValueError):
             net.set_loss(server_ip(0), 1.5, None)
+
+
+class TestFaultParity:
+    """broadcast()/send_reserved() must see faults exactly like send().
+
+    Partition drops, unknown-destination drops, and plant-noise loss are
+    accounted on the shared counters regardless of which delivery path
+    carried the datagram -- the chaos monitors depend on that parity.
+    """
+
+    def test_broadcast_counts_partitioned_receivers_as_drops(self, kernel, net):
+        server = make_server(kernel, net, 0)
+        near = make_settop(kernel, net, 0, 0)
+        far = make_settop(kernel, net, 0, 1)
+        got_near, got_far = [], []
+        net.bind_port(near.ip, 7000, got_near.append)
+        net.bind_port(far.ip, 7000, got_far.append)
+        net.partition({server.ip}, {far.ip})
+        reached = net.broadcast(server.ip, [near.ip, far.ip], 7000,
+                                "boot.announce", payload=None)
+        kernel.run()
+        assert reached == 1
+        assert len(got_near) == 1 and got_far == []
+        assert net.messages_dropped == 1
+        assert net.sent_by_kind["boot.announce"] == 2  # both counted as sent
+
+    def test_broadcast_counts_unknown_receiver_as_drop(self, kernel, net):
+        server = make_server(kernel, net, 0)
+        settop = make_settop(kernel, net, 0, 0)
+        got = []
+        net.bind_port(settop.ip, 7000, got.append)
+        reached = net.broadcast(server.ip, [settop.ip, settop_ip(0, 9)],
+                                7000, "boot.announce", payload=None)
+        kernel.run()
+        assert reached == 1 and len(got) == 1
+        assert net.messages_dropped == 1
+
+    def test_broadcast_subject_to_loss_like_send(self, kernel, net):
+        from repro.sim.rand import SeededRandom
+        server = make_server(kernel, net, 0)
+        settop = make_settop(kernel, net, 0, 0)
+        got = []
+        net.bind_port(settop.ip, 7000, got.append)
+        net.set_loss(settop.ip, 1.0, SeededRandom(3))
+        assert net.broadcast(server.ip, [settop.ip], 7000,
+                             "boot.announce", payload=None) == 1
+        kernel.run()
+        assert got == [] and net.messages_lost == 1
+        net.clear_loss()
+        net.broadcast(server.ip, [settop.ip], 7000, "boot.announce",
+                      payload=None)
+        kernel.run()
+        assert len(got) == 1
+
+    def test_send_reserved_partition_drops_with_accounting(self, kernel, net):
+        server = make_server(kernel, net, 0)
+        settop = make_settop(kernel, net, 0, 0)
+        got = []
+        net.bind_port(settop.ip, 7000, got.append)
+        net.interface(settop.ip).in_link.reserve("vc-1", 3_000_000)
+        msg = Message(src=(server.ip, 1), dst=(settop.ip, 7000),
+                      kind="stream.cells", payload_bytes=1_000)
+        net.partition({server.ip}, {settop.ip})
+        assert net.send_reserved(msg, "vc-1") is False
+        assert net.messages_dropped == 1
+        net.heal_partitions()
+        assert net.send_reserved(msg, "vc-1") is True
+        kernel.run()
+        assert len(got) == 1
+
+    def test_send_reserved_missing_circuit_drops(self, kernel, net):
+        server = make_server(kernel, net, 0)
+        settop = make_settop(kernel, net, 0, 0)
+        msg = Message(src=(server.ip, 1), dst=(settop.ip, 7000),
+                      kind="stream.cells", payload_bytes=1_000)
+        assert net.send_reserved(msg, "torn-down-vc") is False
+        assert net.messages_dropped == 1
+        assert net.sent_by_kind["stream.cells"] == 1  # sent, then dropped
+
+    def test_send_reserved_subject_to_loss_like_send(self, kernel, net):
+        from repro.sim.rand import SeededRandom
+        server = make_server(kernel, net, 0)
+        settop = make_settop(kernel, net, 0, 0)
+        got = []
+        net.bind_port(settop.ip, 7000, got.append)
+        net.interface(settop.ip).in_link.reserve("vc-1", 3_000_000)
+        net.set_loss(settop.ip, 1.0, SeededRandom(3))
+        msg = Message(src=(server.ip, 1), dst=(settop.ip, 7000),
+                      kind="stream.cells", payload_bytes=1_000)
+        assert net.send_reserved(msg, "vc-1") is True  # lost in flight,
+        kernel.run()                                   # not refused at send
+        assert got == [] and net.messages_lost == 1
+
+    def test_delay_fault_applies_to_all_three_paths(self, kernel, net):
+        a = make_server(kernel, net, 0)
+        b = make_server(kernel, net, 1)
+        settop = make_settop(kernel, net, 0, 0)
+        net.interface(settop.ip).in_link.reserve("vc-1", 3_000_000)
+        times = {}
+        net.bind_port(b.ip, 1, lambda m: times.setdefault("send", kernel.now))
+        net.bind_port(settop.ip, 7000,
+                      lambda m: times.setdefault(m.kind, kernel.now))
+        net.set_delay(b.ip, 2.0)
+        net.set_delay(settop.ip, 2.0)
+        net.send(Message(src=(a.ip, 1), dst=(b.ip, 1), kind="x"))
+        net.broadcast(a.ip, [settop.ip], 7000, "bcast", payload=None)
+        net.send_reserved(Message(src=(a.ip, 1), dst=(settop.ip, 7000),
+                                  kind="cbr", payload_bytes=100), "vc-1")
+        kernel.run()
+        assert times["send"] > 2.0
+        assert times["bcast"] > 2.0
+        assert times["cbr"] > 2.0
+        net.clear_faults()
+        net.send(Message(src=(a.ip, 1), dst=(b.ip, 1), kind="x"))
+        start = kernel.now
+        kernel.run()
+        assert kernel.now - start < 1.0
+
+    def test_gray_failure_slows_replies_from_source(self, kernel, net):
+        a = make_server(kernel, net, 0)
+        b = make_server(kernel, net, 1)
+        times = []
+        net.bind_port(a.ip, 1, lambda m: times.append(kernel.now))
+        net.set_gray(b.ip, 5.0)
+        net.send(Message(src=(b.ip, 1), dst=(a.ip, 1), kind="reply"))
+        kernel.run()
+        assert times[0] > 5.0
+
+    def test_duplicate_fault_delivers_echo(self, kernel, net):
+        from repro.sim.rand import SeededRandom
+        a = make_server(kernel, net, 0)
+        b = make_server(kernel, net, 1)
+        got = []
+        net.bind_port(b.ip, 1, got.append)
+        net.set_duplicate(b.ip, 1.0, SeededRandom(5))
+        net.send(Message(src=(a.ip, 1), dst=(b.ip, 1), kind="x"))
+        kernel.run()
+        assert len(got) == 2
+        assert net.messages_duplicated == 1
+        assert net.messages_delivered == 2
