@@ -1,4 +1,4 @@
-"""The repo-specific rule set (D001..D009).
+"""The repo-specific rule set (D001..D010).
 
 Every rule guards the one invariant the reproduction rests on: two runs
 with the same seed produce byte-identical traces (see
@@ -390,11 +390,44 @@ class RawFaultSurfaceRule(Rule):
         return out
 
 
+class DeadlineRule(Rule):
+    rule_id = "D010"
+    title = "OCS invocations must carry a time budget"
+    rationale = ("An `invoke(...)` without an explicit `timeout=` or "
+                 "`deadline=` falls back to the default call timeout and "
+                 "cannot participate in deadline propagation -- under "
+                 "overload the server may burn capacity on an answer no "
+                 "caller still wants.  Pass the remaining budget down, or "
+                 "suppress a considered exception with "
+                 "`# repro: noqa: D010`.")
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterable[Violation]:
+        if os.path.basename(ctx.relpath).startswith("test_"):
+            return []
+        out = []
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "invoke"):
+                continue
+            if len(node.args) < 2:
+                continue   # not the OCS invoke(ref, method, args) shape
+            kw = {k.arg for k in node.keywords}
+            if "timeout" in kw or "deadline" in kw or None in kw:
+                continue   # budgeted (None = **kwargs: assume it is)
+            out.append(self.violation(
+                ctx, node,
+                "`invoke(...)` without `timeout=` or `deadline=`; pass "
+                "the remaining budget so deadline propagation works"))
+        return out
+
+
 def default_rules() -> List[Rule]:
     """The rule set `repro lint` runs, in id order."""
     return [RandomModuleRule(), WallClockRule(), UnorderedIterationRule(),
             HashSeedRule(), ExceptionSwallowRule(), LayeringRule(),
-            PrintRule(), FutureLeakRule(), RawFaultSurfaceRule()]
+            PrintRule(), FutureLeakRule(), RawFaultSurfaceRule(),
+            DeadlineRule()]
 
 
 def rules_by_id() -> Dict[str, Rule]:

@@ -188,6 +188,41 @@ def bench_trace_select(n: int, queries: int) -> Dict[str, Any]:
     }
 
 
+# -- admission control -------------------------------------------------
+
+
+def bench_admission_gate(n: int) -> Dict[str, Any]:
+    """The admission gate's admit/begin/done cycle plus shed decisions.
+
+    The gate sits on every gated service's call path (PR 4), so its
+    bookkeeping must stay negligible next to the kernel event loop.
+    Half the cycles run admitted work to completion; the rest push the
+    gate into saturation so the shed branch is measured too.
+    """
+    from repro.core.params import Params
+    from repro.ocs.admission import AdmissionGate
+
+    params = Params().with_overrides(admission_max_inflight=4,
+                                     admission_max_queue=8)
+    gate = AdmissionGate("bench", params)
+
+    def run() -> Dict[str, Any]:
+        for _ in range(n):
+            if gate.try_admit():
+                gate.begin()
+                gate.done()
+        # Saturate, then hammer the shed branch.
+        while gate.try_admit():
+            gate.begin()
+        for _ in range(n):
+            gate.try_admit()
+        return {"cycles": 2 * n, "shed": gate.shed_count}
+
+    out = _timed(run)
+    out["cycles_per_sec"] = round(out["cycles"] / max(out["wall_s"], 1e-9))
+    return out
+
+
 # -- end to end -------------------------------------------------------
 
 
@@ -233,6 +268,7 @@ def run_suite(quick: bool = False) -> Dict[str, Any]:
     benchmarks["trace_emit"] = bench_trace_emit(20_000 * scale)
     benchmarks["trace_select"] = bench_trace_select(20_000 * scale,
                                                     queries=100 * scale)
+    benchmarks["admission_gate"] = bench_admission_gate(20_000 * scale)
     benchmarks["boot_storm_e11"] = bench_boot_storm(16 if quick else 48)
     return {
         "schema": SCHEMA,
@@ -251,8 +287,8 @@ def format_lines(results: Dict[str, Any]) -> List[str]:
              f"python {results['host']['python']}) =="]
     for name, data in results["benchmarks"].items():
         parts = [f"{name}: {data['wall_s'] * 1000:.1f} ms"]
-        for key in ("events_per_sec", "messages_per_sec", "speedup",
-                    "sim_seconds_per_wall_s"):
+        for key in ("events_per_sec", "messages_per_sec", "cycles_per_sec",
+                    "speedup", "sim_seconds_per_wall_s"):
             if key in data:
                 parts.append(f"{key}={data[key]}")
         lines.append("  " + "  ".join(parts))

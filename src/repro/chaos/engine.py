@@ -27,6 +27,7 @@ from repro.chaos.schedule import FaultSchedule, generate_schedule
 from repro.cluster.builder import Cluster, build_full_cluster, fresh_run_state
 from repro.cluster.scenario import Scenario
 from repro.core.params import Params
+from repro.metrics.overload import collect_overload
 from repro.sim.rand import SeededRandom
 
 
@@ -48,6 +49,10 @@ class ChaosResult:
     finished_at: float = 0.0
     faults_injected: int = 0
     procs_killed: int = 0
+    # PR 4: what the admission gates, deadline guards, and degraded
+    # fallbacks did (see repro.metrics.overload.collect_overload).
+    overload: Dict[str, dict] = field(default_factory=dict)
+    degraded_ops: int = 0
 
     @property
     def ok(self) -> bool:
@@ -67,6 +72,8 @@ class ChaosResult:
             "violations": [{"monitor": v.monitor, "t": round(v.time, 3),
                             "detail": v.detail} for v in self.violations],
             "availability": self.availability,
+            "overload": self.overload,
+            "degraded_ops": self.degraded_ops,
             "schedule": self.schedule.to_dict(),
         }
 
@@ -142,6 +149,8 @@ def run_schedule(schedule: FaultSchedule, seed: int, n_servers: int = 3,
         finished_at=cluster.now,
         faults_injected=len(injector.injected),
         procs_killed=len(injector.killed),
+        overload=collect_overload(cluster, kernels),
+        degraded_ops=sum(s.stats.degraded for s in sessions),
     )
 
 

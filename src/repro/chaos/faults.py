@@ -36,6 +36,13 @@ FAULT_KINDS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
     "duplicate": (("target", "probability"), ()),
     "gray": (("server", "reply_lag"), ()),
     "clear_link_faults": ((), ()),
+    # -- overload faults (PR 4) ------------------------------------------
+    # load_surge: burst clients hammer ``service`` with ``calls`` short-
+    # deadline invocations spread over ``duration`` seconds (flash crowd).
+    "load_surge": (("service", "calls"), ("duration", "settop")),
+    # slow_consumer: the named service's servants acquire ``lag`` seconds
+    # of dequeue delay, so queues build and deadlines expire in-queue.
+    "slow_consumer": (("server", "service", "lag"), ()),
 }
 
 
@@ -95,9 +102,12 @@ def validate_fault(kind: str, args: Mapping[str, Any], at: float = 0.0) -> None:
     for name in ("probability",):
         if name in args and not 0.0 <= float(args[name]) <= 1.0:
             raise FaultError(f"{kind}: {name} must be in [0, 1]")
-    for name in ("extra", "reply_lag"):
+    for name in ("extra", "reply_lag", "lag", "duration"):
         if name in args and float(args[name]) < 0:
             raise FaultError(f"{kind}: {name} must be >= 0")
+    for name in ("calls",):
+        if name in args and int(args[name]) <= 0:
+            raise FaultError(f"{kind}: {name} must be > 0")
     for name in ("target",):
         if name in args:
             parse_target(str(args[name]))

@@ -14,8 +14,19 @@ from typing import Dict, List, Optional
 
 from repro.chaos.faults import Fault, FaultError, parse_target
 from repro.cluster.builder import Cluster, ClusterClient
+from repro.core.naming.client import NameClient
 from repro.sim.host import Host, Process
 from repro.sim.rand import SeededRandom
+
+#: load_surge probe operation per service: (method, args).  Chosen to be
+#: cheap reads that still traverse the service's backing dependencies
+#: (db, MDS) so saturation is real, not synthetic.
+SURGE_OPS: Dict[str, tuple] = {
+    "vod": ("getBookmark", ("surge-probe",)),
+    "shopping": ("catalog", ()),
+    "mms": ("listTitles", ()),
+    "mds": ("listTitles", ()),
+}
 
 
 class FaultInjector:
@@ -32,6 +43,9 @@ class FaultInjector:
         self.killed: List[dict] = []        # {"t": float, "proc": Process}
         self.injected: List[Fault] = []
         self._operator_clients: Dict[str, ClusterClient] = {}
+        # OCS runtimes whose servant_lag a slow_consumer fault set; the
+        # end-of-horizon heal restores them.
+        self._lagged_runtimes: List[object] = []
 
     # -- entry points -----------------------------------------------------
 
@@ -49,6 +63,9 @@ class FaultInjector:
         self.cluster.trace.emit("chaos", "heal_all")
         self.cluster.net.heal_partitions()
         self.cluster.net.clear_faults()
+        for runtime in self._lagged_runtimes:
+            runtime.servant_lag = 0.0
+        self._lagged_runtimes.clear()
 
     # -- process / node faults -------------------------------------------
 
@@ -151,6 +168,83 @@ class FaultInjector:
 
     def _do_clear_link_faults(self, fault: Fault) -> None:
         self.cluster.net.clear_faults()
+
+    # -- overload faults (PR 4) -------------------------------------------
+
+    def _do_load_surge(self, fault: Fault) -> None:
+        """Flash crowd: burst clients on settop hosts hammer one service.
+
+        Clients run on settops (not servers) so neighborhood Selectors
+        resolve normally, and every call carries a short deadline -- the
+        surge exercises shedding, in-queue expiry, and degraded modes
+        all at once.
+        """
+        service = str(fault.args["service"])
+        calls = int(fault.args["calls"])
+        duration = float(fault.args.get("duration", 10.0))
+        op = SURGE_OPS.get(service)
+        if op is None:
+            return   # no cheap probe op known for this service
+        if "settop" in fault.args:
+            index = int(fault.args["settop"])
+            hosts = ([self.cluster.settops[index]]
+                     if index < len(self.cluster.settops) else [])
+        else:
+            hosts = list(self.cluster.settops)
+        hosts = [h for h in hosts if h.up]
+        if not hosts:
+            return
+        surge_id = len(self.injected)
+        for i, host in enumerate(hosts):
+            share = calls // len(hosts) + (1 if i < calls % len(hosts) else 0)
+            if share == 0:
+                continue
+            client = self.cluster.client_on(host,
+                                            name=f"chaos-surge-{service}")
+            # A settop host has no local NS replica; point the surge
+            # client's name library at the cluster's replica set.
+            client.names = NameClient(
+                client.runtime,
+                self.cluster.cluster_config["ns_replica_ips"],
+                self.cluster.params)
+            client.process.create_task(
+                self._surge_driver(
+                    client, service, op, share, duration,
+                    self.rng.stream(f"surge-{surge_id}-{i}")),
+                name=f"surge-{service}-{i}").detach()
+
+    async def _surge_driver(self, client: ClusterClient, service: str,
+                            op, share: int, duration: float,
+                            rng: SeededRandom) -> None:
+        method, args = op
+        params = self.cluster.params
+        try:
+            ref = await client.names.wait_resolve(f"svc/{service}",
+                                                  timeout=duration)
+        except Exception:  # noqa: BLE001 - nothing to surge at
+            return
+        gap = duration / share
+        for _ in range(share):
+            deadline = client.kernel.now + params.call_timeout
+            client.runtime.invoke(ref, method, args,
+                                  timeout=params.call_timeout,
+                                  deadline=deadline).detach()
+            await client.kernel.sleep(rng.uniform(0.5 * gap, 1.5 * gap))
+
+    def _do_slow_consumer(self, fault: Fault) -> None:
+        """The named service dequeues slowly: queues build, work expires."""
+        index = int(fault.args["server"])
+        name = str(fault.args["service"])
+        lag = float(fault.args["lag"])
+        proc = self.cluster.find_service(index, name)
+        if proc is None:
+            return
+        runtime = proc.attachments.get("ocs")
+        if runtime is None:
+            return
+        runtime.servant_lag = lag
+        if lag > 0:
+            self._lagged_runtimes.append(runtime)
 
     # -- helpers ----------------------------------------------------------
 

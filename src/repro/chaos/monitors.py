@@ -19,7 +19,11 @@ The catalog (DESIGN.md section 9):
   :class:`AvailabilityTimeline`, and service returns once faults heal
   (section 9.5);
 - a killed process leaks no Future: everything it owned is cancelled
-  (section 3.2.1's incarnation rule, enforced at the task layer).
+  (section 3.2.1's incarnation rule, enforced at the task layer);
+- no server executes work whose deadline has already expired -- the
+  deadline envelope must be honored on both sides of the queue (PR 4);
+- admission-gated services keep their queues bounded under any surge:
+  the gate's limits are never exceeded, only shed around (PR 4).
 """
 
 from __future__ import annotations
@@ -407,14 +411,134 @@ class FutureLeakMonitor(Monitor):
                     f"process {proc.name} (pid {proc.pid}) leaked "
                     f"{len(leaked)} task(s) across its crash: {names}"))
         self._checked = len(self.injector.killed)
+        out.extend(self._sweep_pending())
         return out
+
+    def _sweep_pending(self) -> List[Violation]:
+        """PR 4 extension: a shed or dropped call must still resolve the
+        caller's Future.  Any pending client call whose *explicit*
+        deadline passed more than ``LEAK_GRACE`` ago means the reply was
+        lost *and* the local deadline timer never fired -- a leak the
+        shed/expiry paths could introduce."""
+        now = self.cluster.now
+        out: List[Violation] = []
+        for runtime in _live_runtimes(self.cluster):
+            for call_id, pending in runtime._pending.items():
+                deadline = getattr(pending, "deadline", None)
+                if deadline is None or pending.future.done():
+                    continue
+                if now - deadline > LEAK_GRACE:
+                    out.append(self._violation(
+                        f"call {call_id} ({pending.method}) still pending "
+                        f"{now - deadline:.1f}s past its deadline"))
+        return out
+
+
+class ExpiredWorkMonitor(Monitor):
+    """No server executes work whose deadline already expired (PR 4).
+
+    Deadline propagation has two enforcement points -- before enqueue
+    and after dequeue -- and the runtime counts any expired call that
+    slips through both in ``expired_executions``.  A nonzero count means
+    a server burned capacity on an answer no caller was still waiting
+    for, the exact waste the overload design exists to prevent.
+    """
+
+    name = "expired_work"
+
+    def bind(self, cluster, injector, params, context) -> None:
+        super().bind(cluster, injector, params, context)
+        # (ip, port) identifies one runtime incarnation.
+        self._reported: Dict[tuple, int] = {}
+
+    def check(self) -> List[Violation]:
+        return self._sweep()
+
+    def finish(self) -> List[Violation]:
+        return self._sweep()
+
+    def _sweep(self) -> List[Violation]:
+        out: List[Violation] = []
+        for runtime in _live_runtimes(self.cluster):
+            count = getattr(runtime, "expired_executions", 0)
+            key = (runtime.ip, runtime.port)
+            if count > self._reported.get(key, 0):
+                self._reported[key] = count
+                out.append(self._violation(
+                    f"{runtime.process.name} on {runtime.ip} executed "
+                    f"{count} call(s) past their deadline"))
+        return out
+
+
+class QueueBoundMonitor(Monitor):
+    """Admission-gated queues stay within their configured bounds (PR 4).
+
+    The gate's whole contract is that overload becomes *sheds* (bounded
+    work, fast ``Overloaded`` replies) rather than unbounded queues; a
+    probe catching ``queued > max_queue`` or ``inflight > max_inflight``
+    means a code path admitted work around the gate.  Peak counters are
+    checked at finish so a between-probes excursion is caught too.
+    """
+
+    name = "queue_bound"
+
+    def check(self) -> List[Violation]:
+        out: List[Violation] = []
+        for runtime, gate in _gated_runtimes(self.cluster):
+            total_bound = gate.max_inflight + gate.max_queue
+            if gate.queued > gate.max_queue:
+                out.append(self._violation(
+                    f"{gate.service}: queue depth {gate.queued} exceeds "
+                    f"bound {gate.max_queue}"))
+            # A lag burst can move a full queue inflight at once, so the
+            # hard bound on executing work is the admitted total.
+            if gate.inflight + gate.queued > total_bound:
+                out.append(self._violation(
+                    f"{gate.service}: {gate.inflight} inflight + "
+                    f"{gate.queued} queued exceeds admitted bound "
+                    f"{total_bound}"))
+        return out
+
+    def finish(self) -> List[Violation]:
+        out = self.check()
+        for runtime, gate in _gated_runtimes(self.cluster):
+            total_bound = gate.max_inflight + gate.max_queue
+            if gate.peak_queue > gate.max_queue:
+                out.append(self._violation(
+                    f"{gate.service}: peak queue depth {gate.peak_queue} "
+                    f"exceeded bound {gate.max_queue} during the run"))
+            if gate.peak_inflight > total_bound:
+                out.append(self._violation(
+                    f"{gate.service}: peak inflight {gate.peak_inflight} "
+                    f"exceeded admitted bound {total_bound} during the run"))
+        return out
+
+
+def _live_runtimes(cluster: Cluster):
+    """Every live server-side OCS runtime (the monitors' probe surface)."""
+    for host in cluster.servers:
+        if not host.up:
+            continue
+        for proc in host.processes:
+            if not proc.alive:
+                continue
+            runtime = proc.attachments.get("ocs")
+            if runtime is not None:
+                yield runtime
+
+
+def _gated_runtimes(cluster: Cluster):
+    for runtime in _live_runtimes(cluster):
+        gate = getattr(runtime, "admission", None)
+        if gate is not None:
+            yield runtime, gate
 
 
 def default_monitors() -> List[Monitor]:
     """The full invariant catalog, fresh instances."""
     return [CscPrimaryMonitor(), NsAgreementMonitor(),
             AuditConvergenceMonitor(), SettopServiceMonitor(),
-            FutureLeakMonitor()]
+            FutureLeakMonitor(), ExpiredWorkMonitor(), QueueBoundMonitor()]
 
 
 class MonitorBus:

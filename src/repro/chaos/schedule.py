@@ -21,6 +21,10 @@ KILLABLE_SERVICES = ["mds", "rds", "mms", "cmgr", "vod", "shopping", "game",
                      "ras", "settopmgr", "db", "fileservice", "boot", "kbs",
                      "csc", "ns"]
 
+#: services a generated load_surge / slow_consumer may target: the
+#: admission-gated ones with a known cheap probe operation (PR 4).
+SURGEABLE_SERVICES = ["vod", "shopping", "mms", "mds"]
+
 SCHEDULE_FORMAT_VERSION = 1
 
 
@@ -154,22 +158,33 @@ def generate_schedule(rng: SeededRandom, n_faults: int = 8,
             faults.append(Fault(at, "partition", {"servers_a": [isolated],
                                                   "servers_b": others}))
             faults.append(Fault(heal_at, "heal", {}))
-        elif roll < 0.78:
+        elif roll < 0.76:
             faults.append(Fault(at, "loss", {
                 "target": _pick_target(rng, n_servers, n_settops),
                 "probability": round(rng.uniform(0.05, 0.25), 3)}))
-        elif roll < 0.84:
+        elif roll < 0.81:
             faults.append(Fault(at, "delay", {
                 "target": _pick_target(rng, n_servers, n_settops),
                 "extra": round(rng.uniform(0.2, 1.0), 3)}))
-        elif roll < 0.90:
+        elif roll < 0.86:
             faults.append(Fault(at, "duplicate", {
                 "target": _pick_target(rng, n_servers, n_settops),
                 "probability": round(rng.uniform(0.1, 0.5), 3)}))
-        else:
+        elif roll < 0.91:
             faults.append(Fault(at, "gray", {
                 "server": rng.randint(0, n_servers - 1),
                 "reply_lag": round(rng.uniform(0.3, 1.5), 3)}))
+        elif roll < 0.96:
+            # Flash crowd against an overload-aware service (PR 4).
+            faults.append(Fault(at, "load_surge", {
+                "service": rng.choice(SURGEABLE_SERVICES),
+                "calls": rng.randint(50, 300),
+                "duration": round(rng.uniform(5.0, 20.0), 1)}))
+        else:
+            faults.append(Fault(at, "slow_consumer", {
+                "server": rng.randint(0, n_servers - 1),
+                "service": rng.choice(SURGEABLE_SERVICES),
+                "lag": round(rng.uniform(0.2, 2.0), 3)}))
     return FaultSchedule(faults=tuple(faults), horizon=horizon)
 
 

@@ -109,6 +109,7 @@ def _cmd_bench(args) -> int:
 def _cmd_chaos(args) -> int:
     from repro.chaos import (FaultSchedule, minimize_schedule, run_seed,
                              write_minimal)
+    from repro.metrics.overload import total_sheds
 
     schedule = None
     if args.schedule:
@@ -126,6 +127,18 @@ def _cmd_chaos(args) -> int:
         status = "ok" if result.ok else "FAIL"
         print(f"seed {seed}: {status}  faults={len(result.schedule)} "
               f"viewer_ops={result.viewer_ops} digest={result.digest[:16]}")
+        sheds = total_sheds(result.overload)
+        if sheds or result.degraded_ops:
+            deadlines = result.overload.get("deadlines", {})
+            gates = ", ".join(
+                f"{name}: shed={g['shed']} peak_q={g['peak_queue']}"
+                for name, g in result.overload.get("gates", {}).items()
+                if g["shed"])
+            print(f"  overload: sheds={sheds} "
+                  f"degraded_ops={result.degraded_ops} "
+                  f"deadline_rejects={deadlines.get('rejected', 0)} "
+                  f"expired={deadlines.get('expired_executions', 0)}"
+                  + (f"  [{gates}]" if gates else ""))
         if args.double_run:
             if results[1].digest != result.digest:
                 print(f"  DETERMINISM VIOLATION: re-run digest "

@@ -30,7 +30,8 @@ class Backoff:
                  base: Optional[float] = None,
                  multiplier: Optional[float] = None,
                  max_delay: Optional[float] = None,
-                 jitter: Optional[float] = None):
+                 jitter: Optional[float] = None,
+                 max_elapsed: Optional[float] = None):
         self.base = base if base is not None else params.retry_backoff_base
         self.multiplier = (multiplier if multiplier is not None
                            else params.retry_backoff_multiplier)
@@ -38,19 +39,43 @@ class Backoff:
                           else params.retry_backoff_max)
         self.jitter = (jitter if jitter is not None
                        else params.retry_backoff_jitter)
+        # Total-sleep budget: once the sum of returned delays reaches
+        # this, next_delay() returns 0.0 and ``exhausted`` turns true.
+        # A retry loop with a deadline must not sleep past it (PR 4
+        # bugfix: loops used to overshoot their own budget).
+        self.max_elapsed = max_elapsed
         self._rng = rng
         self.attempts = 0
+        self.total_slept = 0.0
 
     def next_delay(self) -> float:
-        """The delay to sleep before the next retry (advances the state)."""
+        """The delay to sleep before the next retry (advances the state).
+
+        Clamped so the cumulative sum of delays never exceeds
+        ``max_elapsed``; returns 0.0 once the budget is spent.
+        """
         delay = min(self.base * (self.multiplier ** self.attempts),
                     self.max_delay)
         self.attempts += 1
-        return jittered(self._rng, delay, self.jitter)
+        delay = jittered(self._rng, delay, self.jitter)
+        if self.max_elapsed is not None:
+            remaining = self.max_elapsed - self.total_slept
+            if remaining <= 0:
+                return 0.0
+            delay = min(delay, remaining)
+        self.total_slept += delay
+        return delay
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the ``max_elapsed`` sleep budget is fully spent."""
+        return (self.max_elapsed is not None
+                and self.total_slept >= self.max_elapsed)
 
     def reset(self) -> None:
         """Back to the base delay (call after a successful attempt)."""
         self.attempts = 0
+        self.total_slept = 0.0
 
 
 def jittered(rng: SeededRandom, delay: float, fraction: float) -> float:

@@ -354,7 +354,8 @@ class NameReplicaProcess:
             if peer != self.ip:
                 # Best-effort push; the audit loop repairs missed peers.
                 self.runtime.invoke(self.peer_replica_ref(peer), "applyUpdate",
-                                    (seq, op)).detach()
+                                    (seq, op),
+                                    timeout=self.params.call_timeout).detach()
         return seq
 
     def _ingest(self, seq: int, op: tuple) -> None:

@@ -56,6 +56,27 @@ class Params:
     retry_backoff_max: float = 8.0         # delay cap
     retry_backoff_jitter: float = 0.25     # +/- fraction drawn per retry
 
+    # -- overload control (PR 4, paper section 5.1) -----------------------
+    # Per-service admission gate: at most admission_max_inflight servant
+    # executions with admission_max_queue calls waiting; beyond that the
+    # call is shed with Overloaded(retry_after=admission_retry_after).
+    # Sized so healthy-cluster workloads (48-settop boot storms, busy
+    # evenings) never shed; only genuine surges and slow consumers trip
+    # the gate.
+    admission_max_inflight: int = 16
+    admission_max_queue: int = 64
+    admission_retry_after: float = 2.0     # server's cool-down hint
+    overload_cooldown_floor: float = 0.5   # min client-side replica cooldown
+    overload_cooldown_jitter: float = 0.5  # +/- fraction on the cooldown
+    load_report_interval: float = 5.0      # gate gauges -> RAS + Selectors
+    shed_load_level: float = 1.0           # selector skips members at >= this
+    surge_p99_bound: float = 10.0          # E14 acceptance: p99 open latency
+    degraded_bitrate_fraction: float = 0.25  # low-bitrate catalog fallback
+    # A viewer-facing call gives up (and the app degrades) after this
+    # long: the section 3 responsiveness discipline -- a TV viewer will
+    # not stare at a frozen screen while a proxy retries for a minute.
+    interactive_deadline: float = 8.0
+
     # -- chaos engine (repro.chaos) ---------------------------------------
     chaos_monitor_interval: float = 5.0    # invariant-monitor probe cadence
     chaos_audit_slack: float = 45.0        # grace beyond the audit polls

@@ -37,6 +37,11 @@ register_interface("RAS", {
     # of each."
     "checkStatus": ("entities",),
     "watchedCounts": (),
+    # PR 4: services with admission gates push their load/queue gauges
+    # here so operators (and the chaos monitors) can read saturation off
+    # the audit service the paper already routes status through.
+    "reportLoad": ("service", "gauges"),
+    "loadGauges": (),
 }, doc="Resource Audit Service (section 7.2)")
 
 Entity = Union[str, ObjectRef]   # settop IP string, or a service object ref
@@ -60,6 +65,9 @@ class ResourceAuditService(Service):
         # Source 1: settops, fed by Settop Manager polls.
         self._settop_status: Dict[str, str] = {}
         self._settopmgr_refs: Dict[int, Optional[ObjectRef]] = {}
+        # PR 4: load/queue gauges pushed by local admission-gated
+        # services, keyed by service name.
+        self._load_gauges: Dict[str, dict] = {}
         # Metrics for experiments E3/E9.
         self.peer_polls_sent = 0
         self.checkstatus_served = 0
@@ -200,11 +208,24 @@ class ResourceAuditService(Service):
         except ServiceUnavailable:
             self._settopmgr_refs[nbhd] = None
 
+    # -- PR 4: load gauges ----------------------------------------------
+
+    def report_load(self, service: str, gauges: dict) -> None:
+        """A local admission-gated service pushed its current gauges."""
+        self._load_gauges[service] = dict(gauges)
+        if gauges.get("shedding"):
+            self.emit("service_shedding", service=service,
+                      queue_depth=gauges.get("queue_depth", 0))
+
+    def load_gauges(self) -> dict:
+        return {name: dict(g) for name, g in sorted(self._load_gauges.items())}
+
     def watched_counts(self) -> dict:
         return {
             "local": len(self._local_live),
             "remote": len(self._remote_status),
             "settops": len(self._settop_status),
+            "gauged_services": len(self._load_gauges),
             "peer_polls_sent": self.peer_polls_sent,
             "checkstatus_served": self.checkstatus_served,
         }
@@ -219,6 +240,12 @@ class _RASServant:
 
     async def watchedCounts(self, ctx: CallContext):
         return self._svc.watched_counts()
+
+    async def reportLoad(self, ctx: CallContext, service, gauges):
+        self._svc.report_load(service, gauges)
+
+    async def loadGauges(self, ctx: CallContext):
+        return self._svc.load_gauges()
 
 
 class _SSCCallback:

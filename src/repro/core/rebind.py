@@ -9,17 +9,26 @@ The proxy also implements the paper's recovery-storm mitigation: "If
 performance difficulties arise, we can modify the library routine to
 back off when repeating requests for a new service object" -- enabled by
 setting ``Params.rebind_backoff`` (experiment E6 measures both modes).
+
+PR 4 adds overload awareness.  Calls may carry an absolute ``deadline``
+that bounds the whole rebind loop (every retry sleep and per-attempt
+timeout is clamped to the remaining budget), and a replica that sheds
+with :class:`Overloaded` is put on a seeded, jittered client-side
+cooldown: the reference is dropped so the Selector steers the retry at
+a different replica, and if resolution hands back a replica still in
+cooldown the proxy fails fast so applications can degrade instead of
+camping on a saturated server.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.backoff import jittered
 from repro.core.naming.client import NameClient
 from repro.core.naming.errors import NamingError
 from repro.core.params import Params
-from repro.ocs.exceptions import ServiceUnavailable
+from repro.ocs.exceptions import DeadlineExceeded, Overloaded, ServiceUnavailable
 from repro.ocs.objref import ObjectRef
 from repro.ocs.runtime import OCSRuntime
 from repro.sim.rand import SeededRandom
@@ -50,8 +59,13 @@ class RebindingProxy:
         self._rng = rng or SeededRandom(0)
         self._give_up_after = give_up_after
         self._ref: Optional[ObjectRef] = None
+        # Shed replicas under client-side cooldown: endpoint -> (until,
+        # the Overloaded that put it there).  Endpoint, not ObjectRef:
+        # a re-resolve returns a fresh ref to the same saturated server.
+        self._cooldowns: Dict[Tuple[str, int], Tuple[float, Overloaded]] = {}
         self.rebinds = 0
         self.resolve_calls = 0
+        self.sheds_seen = 0
 
     @property
     def ref(self) -> Optional[ObjectRef]:
@@ -61,14 +75,35 @@ class RebindingProxy:
         """Drop the cached reference (e.g. after a data-path stall)."""
         self._ref = None
 
+    def _cooling(self, ref: ObjectRef) -> Optional[Overloaded]:
+        """The Overloaded that put ``ref``'s endpoint on cooldown, if live."""
+        entry = self._cooldowns.get((ref.ip, ref.port))
+        if entry is None:
+            return None
+        until, err = entry
+        if self._runtime.kernel.now >= until:
+            del self._cooldowns[(ref.ip, ref.port)]
+            return None
+        return err
+
+    def _note_shed(self, ref: ObjectRef, err: Overloaded) -> None:
+        floor = self._params.overload_cooldown_floor
+        cooldown = jittered(self._rng, max(err.retry_after, floor),
+                            self._params.overload_cooldown_jitter)
+        self._cooldowns[(ref.ip, ref.port)] = (
+            self._runtime.kernel.now + cooldown, err)
+
     async def call(self, method: str, *args: Any,
-                   timeout: Optional[float] = None) -> Any:
+                   timeout: Optional[float] = None,
+                   deadline: Optional[float] = None) -> Any:
         kernel = self._runtime.kernel
-        deadline = kernel.now + self._give_up_after
+        budget = kernel.now + self._give_up_after
+        if deadline is not None:
+            budget = min(budget, deadline)
         call_timeout = timeout or self._params.call_timeout
         backoff = self._params.rebind_backoff
         last_error: Optional[Exception] = None
-        while kernel.now < deadline:
+        while kernel.now < budget:
             if self._ref is None:
                 try:
                     self.resolve_calls += 1
@@ -76,20 +111,53 @@ class RebindingProxy:
                 except (NamingError, ServiceUnavailable) as err:
                     # Not bound (yet/anymore): a replica will rebind soon.
                     last_error = err
-                    await kernel.sleep(self._retry_delay(backoff))
+                    await kernel.sleep(self._clamped(
+                        self._retry_delay(backoff), budget))
                     continue
+                cooling = self._cooling(self._ref)
+                if cooling is not None:
+                    # The Selector handed back a replica we know is
+                    # shedding.  Fail fast with the server's own signal
+                    # so the application can degrade instead of camping
+                    # on a saturated pool for the whole budget.
+                    self._ref = None
+                    raise cooling
             try:
-                return await self._runtime.invoke(self._ref, method, args,
-                                                  timeout=call_timeout)
+                return await self._runtime.invoke(
+                    self._ref, method, args,
+                    timeout=min(call_timeout, budget - kernel.now),
+                    deadline=deadline)
+            except Overloaded as err:
+                # Alive but saturated: cool this endpoint down and let
+                # the name service steer the retry at another replica.
+                self.sheds_seen += 1
+                last_error = err
+                self._note_shed(self._ref, err)
+                self._ref = None
+                self.rebinds += 1
+                await kernel.sleep(self._clamped(
+                    self._retry_delay(backoff), budget))
+            except DeadlineExceeded:
+                # The budget itself is spent; rebinding cannot help.
+                raise
             except ServiceUnavailable as err:
                 # The reference went stale: rebind through the name service.
                 last_error = err
                 self._ref = None
                 self.rebinds += 1
                 if backoff > 0:
-                    await kernel.sleep(self._retry_delay(backoff))
+                    await kernel.sleep(self._clamped(
+                        self._retry_delay(backoff), budget))
+        if deadline is not None and budget >= deadline:
+            raise DeadlineExceeded(
+                f"{self._name}.{method} deadline spent after "
+                f"{self.rebinds} rebinds: {last_error}")
         raise RebindError(
             f"{self._name} unavailable for {self._give_up_after}s: {last_error}")
+
+    def _clamped(self, delay: float, budget: float) -> float:
+        """Never sleep past the loop's own budget (PR 4 backoff bugfix)."""
+        return max(0.0, min(delay, budget - self._runtime.kernel.now))
 
     def _retry_delay(self, backoff: float) -> float:
         if backoff <= 0:
@@ -102,8 +170,10 @@ class RebindingProxy:
         if name.startswith("_"):
             raise AttributeError(name)
 
-        async def call(*args: Any, timeout: Optional[float] = None):
-            return await self.call(name, *args, timeout=timeout)
+        async def call(*args: Any, timeout: Optional[float] = None,
+                       deadline: Optional[float] = None):
+            return await self.call(name, *args, timeout=timeout,
+                                   deadline=deadline)
 
         call.__name__ = name
         return call

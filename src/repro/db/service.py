@@ -51,6 +51,7 @@ def seed_database(disk, table: str, rows: Dict[str, Any]) -> None:
 
 class DatabaseService(Service):
     service_name = "db"
+    ADMISSION_CONTROLLED = True
 
     async def start(self) -> None:
         self.ref = self.runtime.export(_DatabaseServant(self), "Database")

@@ -2,6 +2,7 @@
 
 from repro.metrics.latency import LatencyRecorder, percentile, summarize
 from repro.metrics.availability import AvailabilityTimeline
+from repro.metrics.overload import collect_overload, total_degraded, total_sheds
 
-__all__ = ["AvailabilityTimeline", "LatencyRecorder", "percentile",
-           "summarize"]
+__all__ = ["AvailabilityTimeline", "LatencyRecorder", "collect_overload",
+           "percentile", "summarize", "total_degraded", "total_sheds"]

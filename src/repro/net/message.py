@@ -9,6 +9,11 @@ from typing import Any, Optional, Tuple
 # message carries the signature cost.
 HEADER_BYTES = 256
 
+# Absolute-deadline envelope field (PR 4 overload work): one float64 on
+# the wire.  Charged explicitly so deadline propagation shows up in the
+# byte accounting rather than hiding in HEADER_BYTES.
+DEADLINE_BYTES = 8
+
 _msg_counter = [0]
 
 
@@ -35,17 +40,22 @@ class Message:
     allocation on the send path.
     """
 
-    __slots__ = ("src", "dst", "kind", "payload", "payload_bytes", "msg_id")
+    __slots__ = ("src", "dst", "kind", "payload", "payload_bytes", "msg_id",
+                 "deadline")
 
     def __init__(self, src: Tuple[str, int], dst: Tuple[str, int], kind: str,
                  payload: Any = None, payload_bytes: int = 0,
-                 msg_id: Optional[int] = None):
+                 msg_id: Optional[int] = None,
+                 deadline: Optional[float] = None):
         self.src = src
         self.dst = dst
         self.kind = kind
         self.payload = payload
         self.payload_bytes = payload_bytes
         self.msg_id = _next_msg_id() if msg_id is None else msg_id
+        # Absolute (virtual-clock) deadline for the work this datagram
+        # asks for; None means "no deadline" (replies, raw datagrams).
+        self.deadline = deadline
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Message):
@@ -53,7 +63,8 @@ class Message:
         return (self.src == other.src and self.dst == other.dst
                 and self.kind == other.kind and self.payload == other.payload
                 and self.payload_bytes == other.payload_bytes
-                and self.msg_id == other.msg_id)
+                and self.msg_id == other.msg_id
+                and self.deadline == other.deadline)
 
     __hash__ = None  # type: ignore[assignment] - dataclass(eq=True) semantics
 

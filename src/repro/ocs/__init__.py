@@ -16,12 +16,15 @@ from repro.net.address import neighborhood_of
 from repro.net.link import ReservationError
 from repro.net.message import Message
 from repro.net.network import Network
+from repro.ocs.admission import AdmissionGate
 from repro.ocs.exceptions import (
     AuthError,
     CallTimeout,
     CommFailure,
+    DeadlineExceeded,
     InvalidObjectReference,
     OCSError,
+    Overloaded,
     RemoteException,
     ServiceUnavailable,
 )
@@ -29,16 +32,19 @@ from repro.ocs.objref import ObjectRef
 from repro.ocs.runtime import CallContext, OCSRuntime, Stub
 
 __all__ = [
+    "AdmissionGate",
     "AuthError",
     "CallContext",
     "CallTimeout",
     "CommFailure",
+    "DeadlineExceeded",
     "InvalidObjectReference",
     "Message",
     "Network",
     "OCSError",
     "OCSRuntime",
     "ObjectRef",
+    "Overloaded",
     "RemoteException",
     "ReservationError",
     "ServiceUnavailable",

@@ -36,6 +36,30 @@ class InvalidObjectReference(ServiceUnavailable):
     """
 
 
+class Overloaded(ServiceUnavailable):
+    """The servant's admission gate shed this call (PR 4, paper section 5.1).
+
+    The replica is alive but saturated: its inflight + queued work is at
+    capacity.  ``retry_after`` is the server's hint for how long a client
+    should cool down before retrying *this* replica; the rebind layer
+    uses it to steer the retry at a different replica instead.
+    """
+
+    def __init__(self, detail: str = "", retry_after: float = 0.0):
+        super().__init__(detail)
+        self.retry_after = retry_after
+
+
+class DeadlineExceeded(OCSError):
+    """The invocation's absolute deadline passed before useful work ran.
+
+    Deliberately *not* a :class:`ServiceUnavailable`: rebinding to a
+    different replica cannot help a caller whose time budget is already
+    spent.  Raised client-side when the budget expires before send and
+    server-side when expired work is rejected at or after dequeue.
+    """
+
+
 class RemoteException(OCSError):
     """The servant raised an exception type not registered for the wire."""
 

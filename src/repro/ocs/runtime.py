@@ -17,13 +17,16 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.idl.interface import InterfaceDef, lookup_interface
 from repro.idl.types import estimated_size, resolve_exception
-from repro.net.message import Message
+from repro.net.message import DEADLINE_BYTES, Message
 from repro.net.network import Network
+from repro.ocs.admission import AdmissionGate
 from repro.ocs.exceptions import (
     AuthError,
     CallTimeout,
+    DeadlineExceeded,
     InvalidObjectReference,
     OCSError,
+    Overloaded,
     RemoteException,
 )
 from repro.ocs.objref import ANY_INCARNATION, ObjectRef
@@ -90,6 +93,7 @@ class _PendingCall:
     msg_id: int
     method: str
     timeout_handle: Any
+    deadline: Optional[float] = None
 
 
 class OCSRuntime:
@@ -118,6 +122,17 @@ class OCSRuntime:
         self._call_counter = 0
         self.calls_sent = 0
         self.calls_served = 0
+        # Overload controls (PR 4).  ``admission`` is installed by
+        # services that opt into load shedding; ``servant_lag`` is a
+        # chaos knob (slow_consumer fault) that delays every servant
+        # between dequeue and execution so queues genuinely build.
+        self.admission: Optional[AdmissionGate] = None
+        self.servant_lag: float = 0.0
+        # ``reject_expired`` is the deadline guard this PR adds; tests
+        # flip it off to prove the expired-work monitor is falsifiable.
+        self.reject_expired: bool = True
+        self.deadline_rejects = 0
+        self.expired_executions = 0
         network.bind_port(self.ip, self.port, self._on_message)
         process.on_exit(self._on_process_exit)
         process.attachments["ocs"] = self
@@ -164,12 +179,16 @@ class OCSRuntime:
 
     def invoke(self, ref: Optional[ObjectRef], method: str, args: tuple = (),
                timeout: float = DEFAULT_CALL_TIMEOUT,
-               encrypted: bool = False) -> Future:
+               encrypted: bool = False,
+               deadline: Optional[float] = None) -> Future:
         """Invoke ``method`` on the remote object; returns a future.
 
+        Every call carries an absolute deadline in its message envelope:
+        ``deadline`` if the caller propagates one, else ``now + timeout``.
         Raises (through the future) :class:`InvalidObjectReference` when
         the implementor has died, :class:`CallTimeout` when no reply
-        arrives, or the servant's own registered exception type.
+        arrives, :class:`DeadlineExceeded` when the budget expires, or
+        the servant's own registered exception type.
         """
         fut = self.kernel.create_future()
         if ref is None:
@@ -181,6 +200,23 @@ class OCSRuntime:
             mdef.check_args(args)
         except Exception as err:  # noqa: BLE001 - surface through the future
             fut.set_exception(err)
+            return fut
+        now = self.kernel.now
+        # ``hard`` distinguishes a deadline the caller explicitly
+        # propagated (its expiry is DeadlineExceeded -- rebinding cannot
+        # help) from one derived from the per-attempt timeout (its
+        # expiry stays CallTimeout so rebind loops retry as before).
+        hard = deadline is not None
+        if deadline is None:
+            deadline = now + timeout
+        else:
+            # A propagated deadline bounds the per-attempt timer too: no
+            # point waiting for a reply past the caller's total budget.
+            timeout = min(timeout, deadline - now)
+        if deadline <= now:
+            # Budget already spent: fail fast without burning the wire.
+            fut.set_exception(DeadlineExceeded(
+                f"deadline passed before invoking {method}"))
             return fut
         self._call_counter += 1
         call_id = self._call_counter
@@ -196,20 +232,21 @@ class OCSRuntime:
             "credentials": self.credentials,
             "encrypted": encrypted,
         }
-        wire_bytes = estimated_size(args)
+        wire_bytes = estimated_size(args) + DEADLINE_BYTES
         if encrypted:
             wire_bytes += ENCRYPTION_OVERHEAD_BYTES
         msg = Message(
             src=(self.ip, self.port), dst=(ref.ip, ref.port),
             kind=f"rpc.call.{ref.type_id}.{method}",
-            payload=payload, payload_bytes=wire_bytes)
+            payload=payload, payload_bytes=wire_bytes, deadline=deadline)
         if mdef.oneway:
             self.network.send(msg)
             fut.set_result(None)
             return fut
         handle = self.kernel.call_later(timeout, self._on_timeout, call_id)
         self._pending[call_id] = _PendingCall(
-            future=fut, msg_id=msg.msg_id, method=method, timeout_handle=handle)
+            future=fut, msg_id=msg.msg_id, method=method,
+            timeout_handle=handle, deadline=deadline if hard else None)
         self._msgid_to_call[msg.msg_id] = call_id
         self.network.send(msg)
         return fut
@@ -246,6 +283,24 @@ class OCSRuntime:
         ctx = CallContext(caller=payload["caller"], caller_ip=msg.src[0],
                           authenticated=self.verifier is not None,
                           encrypted=bool(payload.get("encrypted")))
+        if (self.reject_expired and msg.deadline is not None
+                and self.kernel.now >= msg.deadline):
+            # Pre-enqueue deadline check: the call expired in flight, so
+            # queueing it would only burn servant time on work nobody is
+            # waiting for.  The error reply resolves the caller's future
+            # (it may race the caller's own deadline timer; first wins).
+            self.deadline_rejects += 1
+            self._reply_error(msg, call_id, "DeadlineExceeded",
+                              f"{payload['method']} expired before dispatch")
+            return
+        if self.admission is not None and not self.admission.try_admit():
+            self._reply_error(
+                msg, call_id, "Overloaded",
+                f"{self.admission.service} shedding at "
+                f"inflight={self.admission.inflight} "
+                f"queued={self.admission.queued}",
+                retry_after=self.admission.retry_after)
+            return
         if export.single_threaded:
             export.queue.put((msg, ctx, export))
         else:
@@ -264,29 +319,56 @@ class OCSRuntime:
         call_id = payload["call_id"]
         method_name = payload["method"]
         oneway = export.interface.method(method_name).oneway
+        gate = self.admission
+        if self.servant_lag > 0:
+            # slow_consumer fault: the servant is slow to pick work off
+            # its queue, so admitted calls sit queued while the lag
+            # elapses -- exactly the state the deadline and queue-bound
+            # monitors must cope with.
+            await self.kernel.sleep(self.servant_lag)
+        if msg.deadline is not None and self.kernel.now >= msg.deadline:
+            # Post-dequeue deadline check: the call expired while it sat
+            # in the queue.  Reject instead of executing dead work.
+            if self.reject_expired:
+                if gate is not None:
+                    gate.drop_queued()
+                self.deadline_rejects += 1
+                if not oneway:
+                    self._reply_error(msg, call_id, "DeadlineExceeded",
+                                      f"{method_name} expired in queue")
+                return
+            # Guard disabled (tests only): the expired call runs anyway,
+            # which is precisely what the expired_work monitor flags.
+            self.expired_executions += 1
+        if gate is not None:
+            gate.begin()
         self.calls_served += 1
         try:
-            handler = getattr(export.servant, method_name, None)
-            if handler is None:
-                raise RemoteException(
-                    f"servant for {export.interface.name} does not implement "
-                    f"{method_name}")
-            result = handler(ctx, *payload["args"])
-            if hasattr(result, "__await__"):
-                result = await result
-        except CancelledError:
-            # The process died mid-call; the caller must observe silence
-            # (and eventually a timeout), not a marshaled cancellation.
-            raise
-        except Exception as err:  # noqa: BLE001 - marshal back to caller
-            if not oneway:
-                name = type(err).__name__
-                if resolve_exception(name) is None and not isinstance(err, OCSError):
-                    detail = "".join(traceback.format_exception_only(type(err), err))
-                    self._reply_error(msg, call_id, "RemoteException", detail.strip())
-                else:
-                    self._reply_error(msg, call_id, name, str(err))
-            return
+            try:
+                handler = getattr(export.servant, method_name, None)
+                if handler is None:
+                    raise RemoteException(
+                        f"servant for {export.interface.name} does not implement "
+                        f"{method_name}")
+                result = handler(ctx, *payload["args"])
+                if hasattr(result, "__await__"):
+                    result = await result
+            except CancelledError:
+                # The process died mid-call; the caller must observe silence
+                # (and eventually a timeout), not a marshaled cancellation.
+                raise
+            except Exception as err:  # noqa: BLE001 - marshal back to caller
+                if not oneway:
+                    name = type(err).__name__
+                    if resolve_exception(name) is None and not isinstance(err, OCSError):
+                        detail = "".join(traceback.format_exception_only(type(err), err))
+                        self._reply_error(msg, call_id, "RemoteException", detail.strip())
+                    else:
+                        self._reply_error(msg, call_id, name, str(err))
+                return
+        finally:
+            if gate is not None:
+                gate.done()
         if oneway:
             return
         reply_bytes = estimated_size(result)
@@ -301,12 +383,14 @@ class OCSRuntime:
         self.network.send(reply)
 
     def _reply_error(self, msg: Message, call_id: int, exc_name: str,
-                     detail: str) -> None:
+                     detail: str, retry_after: Optional[float] = None) -> None:
+        payload = {"call_id": call_id, "ok": False,
+                   "error": exc_name, "detail": detail}
+        if retry_after is not None:
+            payload["retry_after"] = retry_after
         reply = Message(
             src=(self.ip, self.port), dst=msg.src, kind="rpc.reply.error",
-            payload={"call_id": call_id, "ok": False,
-                     "error": exc_name, "detail": detail},
-            payload_bytes=estimated_size(detail))
+            payload=payload, payload_bytes=estimated_size(detail))
         self.network.send(reply)
 
     def _handle_reply(self, msg: Message) -> None:
@@ -322,14 +406,20 @@ class OCSRuntime:
             pending.future.set_result(payload["result"])
         else:
             pending.future.set_exception(
-                self._materialize(payload["error"], payload["detail"]))
+                self._materialize(payload["error"], payload["detail"],
+                                  payload.get("retry_after")))
 
     @staticmethod
-    def _materialize(exc_name: str, detail: str) -> BaseException:
+    def _materialize(exc_name: str, detail: str,
+                     retry_after: Optional[float] = None) -> BaseException:
         if exc_name == "InvalidObjectReference":
             return InvalidObjectReference(detail)
         if exc_name == "AuthError":
             return AuthError(detail)
+        if exc_name == "Overloaded":
+            return Overloaded(detail, retry_after=retry_after or 0.0)
+        if exc_name == "DeadlineExceeded":
+            return DeadlineExceeded(detail)
         cls = resolve_exception(exc_name)
         if cls is not None:
             return cls(detail)
@@ -352,7 +442,16 @@ class OCSRuntime:
         if pending is None:
             return
         self._msgid_to_call.pop(pending.msg_id, None)
-        if not pending.future.done():
+        if pending.future.done():
+            return
+        if (pending.deadline is not None
+                and self.kernel.now >= pending.deadline):
+            # The overall budget (not just this attempt's reply timer)
+            # ran out -- even if the server silently dropped the expired
+            # call, the caller's future resolves here, never leaks.
+            pending.future.set_exception(DeadlineExceeded(
+                f"deadline passed awaiting reply to {pending.method}"))
+        else:
             pending.future.set_exception(CallTimeout(
                 f"no reply to {pending.method} within deadline"))
 
@@ -388,8 +487,10 @@ class Stub:
         # matching IDL-compiled stubs failing at compile time.
         self._iface.method(name)
 
-        def call(*args: Any, timeout: float = DEFAULT_CALL_TIMEOUT) -> Future:
-            return self._runtime.invoke(self._ref, name, args, timeout=timeout)
+        def call(*args: Any, timeout: float = DEFAULT_CALL_TIMEOUT,
+                 deadline: Optional[float] = None) -> Future:
+            return self._runtime.invoke(self._ref, name, args, timeout=timeout,
+                                        deadline=deadline)
 
         call.__name__ = name
         return call

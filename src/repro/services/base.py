@@ -13,8 +13,9 @@ from typing import List, Optional
 from repro.core.backoff import Backoff
 from repro.core.control.registry import ServiceEnv
 from repro.core.control.ssc import ssc_ref
-from repro.core.naming.client import NameClient
+from repro.core.naming.client import NameClient, ns_root_ref
 from repro.core.naming.errors import AlreadyBound, NamingError
+from repro.ocs.admission import AdmissionGate
 from repro.ocs.exceptions import OCSError, ServiceUnavailable
 from repro.ocs.objref import ObjectRef
 from repro.ocs.runtime import OCSRuntime
@@ -29,6 +30,12 @@ class Service:
 
     #: how often a service re-verifies its own name bindings
     BINDING_WATCHDOG_INTERVAL = 15.0
+
+    #: Opt into admission control (PR 4).  True for request-serving
+    #: application services (VOD, MDS, MMS, shopping, game, DB); left
+    #: False for infrastructure the boot path storms by design (RAS,
+    #: RDS, boot service, CSC) where shedding would break start-up.
+    ADMISSION_CONTROLLED = False
 
     def __init__(self, env: ServiceEnv, process: Process):
         self.env = env
@@ -48,18 +55,71 @@ class Service:
         # across same-seed runs (pids are deterministic).
         self._backoff_rng = env.rng.stream(
             f"backoff-{self.service_name}-{process.pid}")
+        if self.ADMISSION_CONTROLLED:
+            self.runtime.admission = AdmissionGate(self.service_name,
+                                                   self.params)
 
-    def retry_backoff(self) -> Backoff:
-        """A fresh jittered-exponential backoff for one retry loop."""
-        return Backoff(self.params, self._backoff_rng)
+    def retry_backoff(self, max_elapsed: Optional[float] = None) -> Backoff:
+        """A fresh jittered-exponential backoff for one retry loop.
+
+        ``max_elapsed`` caps the loop's *total* sleep time so a retry
+        loop with a deadline cannot sleep past its own budget.
+        """
+        return Backoff(self.params, self._backoff_rng,
+                       max_elapsed=max_elapsed)
 
     async def run(self) -> None:
         """Process main: start, then serve until killed."""
         await self.start()
+        if self.runtime.admission is not None:
+            self.spawn_task(self._load_report_loop(),
+                            name="load-report").detach()
         await self.kernel.create_future()  # park; tasks do the serving
 
     async def start(self) -> None:
         raise NotImplementedError
+
+    # -- overload reporting (PR 4) ----------------------------------------
+
+    async def _load_report_loop(self) -> None:
+        """Push admission-gate gauges to the local RAS and the Selectors.
+
+        Load reports go to *every* name-service replica because Selector
+        state is per-replica (each replica resolves independently); the
+        RAS gets the full gauge dict for operators and monitors.  All
+        pushes are best-effort: a dead RAS or minority NS replica must
+        not wedge the service.
+        """
+        gate = self.runtime.admission
+        ras_ref: Optional[ObjectRef] = None
+        ns_ips = self.env.cluster.get("ns_replica_ips", []) if self.env.cluster else []
+        while True:
+            await self.kernel.sleep(self.params.load_report_interval)
+            load = gate.load()
+            if ras_ref is None:
+                try:
+                    ras_ref = await self.names.resolve(f"svc/ras/{self.host.ip}")
+                except (NamingError, ServiceUnavailable):
+                    ras_ref = None
+            if ras_ref is not None:
+                try:
+                    await self.runtime.invoke(
+                        ras_ref, "reportLoad",
+                        (self.service_name, gate.gauges()),
+                        timeout=self.params.ras_call_timeout)
+                except (ServiceUnavailable, OCSError):
+                    ras_ref = None
+            for binding in list(self._replica_bindings):
+                path = (f"{binding['parent']}/{binding['context']}"
+                        if binding["parent"] else binding["context"])
+                for ns_ip in ns_ips:
+                    try:
+                        await self.runtime.invoke(
+                            ns_root_ref(ns_ip, self.params.ns_port),
+                            "reportLoad", (path, binding["member"], load),
+                            timeout=self.params.ras_call_timeout)
+                    except (ServiceUnavailable, OCSError):
+                        continue
 
     # -- start-up helpers -------------------------------------------------
 

@@ -34,6 +34,7 @@ class NotInGame(Exception):
 
 class GameService(Service):
     service_name = "game"
+    ADMISSION_CONTROLLED = True
 
     def __init__(self, env, process):
         super().__init__(env, process)

@@ -66,6 +66,7 @@ def seed_movie(disk, title: str, duration: float, bitrate: float) -> None:
 
 class MediaDeliveryService(Service):
     service_name = "mds"
+    ADMISSION_CONTROLLED = True
 
     def __init__(self, env, process):
         super().__init__(env, process)

@@ -27,7 +27,7 @@ from repro.core.ras.client import AuditClient
 from repro.core.replication import PrimaryBackupBinder
 from repro.idl import register_exception, register_interface
 from repro.ocs import neighborhood_of
-from repro.ocs.exceptions import OCSError, ServiceUnavailable
+from repro.ocs.exceptions import OCSError, Overloaded, ServiceUnavailable
 from repro.ocs.objref import ObjectRef
 from repro.ocs.runtime import CallContext
 from repro.services.base import Service
@@ -52,6 +52,7 @@ MDS_RETRY_INTERVAL = 10.0
 
 class MediaManagementService(Service):
     service_name = "mms"
+    ADMISSION_CONTROLLED = True
 
     #: how long cached MDS catalog/load answers stay fresh
     CATALOG_TTL = 30.0
@@ -169,6 +170,11 @@ class MediaManagementService(Service):
                     mds_ref, "open", (title, settop_ip, conn_id, data_port),
                     timeout=self.params.call_timeout)
                 break
+            except Overloaded:
+                # Shedding, not dead: its admission gate is full.  Try
+                # the next candidate without poisoning the liveness
+                # cache -- the replica keeps serving its current load.
+                await self._quiet_deallocate(cmgr, conn_id)
             except ServiceUnavailable:
                 # The replica is gone: mark it dead and try the next
                 # (section 3.5.2).
@@ -307,6 +313,10 @@ class MediaManagementService(Service):
                     continue
                 load = await self._cached_fetch(
                     self._load, member, ref, "load", self.LOAD_TTL, dict)
+            except Overloaded:
+                # Shedding replicas stay in the pool (alive, just full);
+                # they simply are not candidates for this open.
+                continue
             except (ServiceUnavailable, OCSError):
                 self._declare_mds_dead(member)
                 self._catalog.pop(member, None)

@@ -40,6 +40,7 @@ ORDERS_TABLE = "shop_orders"
 
 class ShoppingService(Service):
     service_name = "shopping"
+    ADMISSION_CONTROLLED = True
 
     def __init__(self, env, process):
         super().__init__(env, process)

@@ -14,11 +14,11 @@ the database so they also survive VOD service failures.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Optional
 
 from repro.core.rebind import RebindingProxy
 from repro.idl import register_interface
-from repro.ocs.exceptions import ServiceUnavailable
+from repro.ocs.exceptions import DeadlineExceeded, Overloaded, ServiceUnavailable
 from repro.ocs.runtime import CallContext
 from repro.services.base import Service
 
@@ -27,6 +27,9 @@ register_interface("VOD", {
     "reportPosition": ("title", "position"),
     "clearBookmark": ("title",),
     "listBookmarks": (),
+    # PR 4: catalog answer with a degraded low-bitrate fallback when the
+    # MDS pool is shedding or the caller's deadline is nearly spent.
+    "catalog": (),
 }, doc="VOD application server portion (section 10.1.1)")
 
 BOOKMARK_TABLE = "vod_bookmarks"
@@ -34,17 +37,23 @@ BOOKMARK_TABLE = "vod_bookmarks"
 
 class VODService(Service):
     service_name = "vod"
+    ADMISSION_CONTROLLED = True
 
     def __init__(self, env, process):
         super().__init__(env, process)
         # Volatile copy; the database is the durable one.
         self._bookmarks: Dict[str, float] = {}
+        # Last good full-bitrate title list, kept for the degraded path.
+        self._catalog_cache: Optional[List[str]] = None
+        self.degraded_answers = 0
 
     async def start(self) -> None:
         self.ref = self.runtime.export(_VODServant(self), "VOD")
         await self.register_objects([self.ref])
         self._db = RebindingProxy(self.runtime, self.names, "svc/db",
                                   self.params)
+        self._mds = RebindingProxy(self.runtime, self.names, "svc/mds",
+                                   self.params, give_up_after=10.0)
         neighborhoods = self.env.cluster.get(
             "neighborhoods_by_server", {}).get(self.host.ip, [])
         for nbhd in neighborhoods:
@@ -54,6 +63,33 @@ class VODService(Service):
     @staticmethod
     def _key(settop_ip: str, title: str) -> str:
         return f"{settop_ip}/{title}"
+
+    async def catalog(self) -> dict:
+        """Title catalog, degrading instead of failing under overload.
+
+        The full answer asks the MDS for its live title list at the
+        advertised movie bitrate.  When the MDS pool is shedding (or the
+        budget for asking it is spent), the last good list is re-served
+        at a reduced bitrate with ``degraded`` set -- the paper's
+        philosophy of staying on the air with a worse picture rather
+        than erroring the session.
+        """
+        try:
+            titles = await self._mds.call(
+                "listTitles",
+                deadline=self.kernel.now + self.params.call_timeout)
+            self._catalog_cache = list(titles)
+            return {"titles": list(titles),
+                    "bitrate": self.params.movie_bitrate_bps,
+                    "degraded": False}
+        except (Overloaded, DeadlineExceeded, ServiceUnavailable):
+            self.degraded_answers += 1
+            self.emit("degraded_catalog",
+                      cached=self._catalog_cache is not None)
+            return {"titles": list(self._catalog_cache or []),
+                    "bitrate": self.params.movie_bitrate_bps
+                    * self.params.degraded_bitrate_fraction,
+                    "degraded": True}
 
     async def get_bookmark(self, settop_ip: str, title: str) -> float:
         key = self._key(settop_ip, title)
@@ -106,3 +142,6 @@ class _VODServant:
         prefix = f"{ctx.caller_ip}/"
         return {k[len(prefix):]: v for k, v in self._svc._bookmarks.items()
                 if k.startswith(prefix)}
+
+    async def catalog(self, ctx: CallContext):
+        return await self._svc.catalog()

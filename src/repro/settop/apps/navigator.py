@@ -3,10 +3,18 @@ of interest" (section 3.4.2).
 
 Presents the channel line-up (venues, section 3.4.3) and asks the AM to
 tune; its "UI" is the list of channels it can describe to the viewer.
+
+PR 4: the navigator's shopping-backed menu degrades gracefully.  When
+the shopping service (or the database behind it) is shedding load, the
+viewer sees the last good menu from cache -- possibly stale, but on
+screen -- instead of an error.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.ocs.exceptions import OCSError, ServiceUnavailable
 from repro.settop.apps.base import SettopApp
 
 
@@ -16,9 +24,34 @@ class NavigatorApp(SettopApp):
     def __init__(self, am, process):
         super().__init__(am, process)
         self.current_venue = None
+        self.shop = None
+        self._menu_cache: Optional[dict] = None
+        self.cached_menus = 0
 
     async def start(self) -> None:
+        self.shop = self.proxy("svc/shopping")
         self.emit("up", channels=len(self.am.channels))
+
+    async def menu(self) -> dict:
+        """The shopping-venue menu: live catalog, or the cached copy.
+
+        The failure net is deliberately broad (any OCS-level error plus
+        the shop's own StoreUnavailable): whatever went wrong between
+        here and the database, the navigator's job is to keep something
+        on screen.
+        """
+        from repro.services.shopping import StoreUnavailable
+        try:
+            catalog = await self.shop.call(
+                "catalog",
+                deadline=self.kernel.now + self.params.call_timeout)
+            self._menu_cache = dict(catalog)
+            return {"items": dict(catalog), "cached": False}
+        except (StoreUnavailable, ServiceUnavailable, OCSError):
+            self.cached_menus += 1
+            items = dict(self._menu_cache) if self._menu_cache else {}
+            self.emit("cached_menu", items=len(items))
+            return {"items": items, "cached": True}
 
     def enter_venue(self, venue) -> None:
         """Scope the navigator to one venue's set (None = full line-up)."""

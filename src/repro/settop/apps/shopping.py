@@ -19,12 +19,17 @@ class ShoppingApp(SettopApp):
         self.shop = self.proxy("svc/shopping")
         self.emit("up")
 
+    def _budget(self) -> float:
+        """Viewer patience: degrade rather than retry past this."""
+        return self.kernel.now + self.params.interactive_deadline
+
     async def browse(self) -> Dict[str, dict]:
         """Fetch the catalog (navigated as video clips in the real UI)."""
-        return await self.shop.call("catalog")
+        return await self.shop.call("catalog", deadline=self._budget())
 
     async def buy(self, item_id: str, quantity: int = 1) -> str:
-        order_id = await self.shop.call("order", item_id, quantity)
+        order_id = await self.shop.call("order", item_id, quantity,
+                                        deadline=self._budget())
         self.orders.append(order_id)
         self.emit("ordered", item=item_id, order=order_id)
         return order_id

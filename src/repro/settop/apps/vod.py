@@ -17,7 +17,12 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.ocs import Message
-from repro.ocs.exceptions import OCSError, ServiceUnavailable
+from repro.ocs.exceptions import (
+    DeadlineExceeded,
+    OCSError,
+    Overloaded,
+    ServiceUnavailable,
+)
 from repro.ocs.objref import ObjectRef
 from repro.ocs.runtime import allocate_port
 from repro.services.mms import MovieUnavailable
@@ -42,6 +47,7 @@ class VODApp(SettopApp):
         self.data_port = allocate_port()
         self.interruptions: List[dict] = []
         self.chunks_received = 0
+        self.degraded_plays = 0
         self._needs_recovery = False
 
     async def start(self) -> None:
@@ -57,23 +63,49 @@ class VODApp(SettopApp):
 
     # -- viewer operations -----------------------------------------------
 
-    async def play(self, title: str, resume: bool = True) -> None:
-        """Open and start a movie (Figure 4 steps 1-8)."""
+    async def play(self, title: str, resume: bool = True) -> str:
+        """Open and start a movie (Figure 4 steps 1-8).
+
+        Returns ``"playing"``, or ``"degraded"`` when the delivery path
+        is shedding load: rather than erroring the session, the app
+        fetches the VOD service's (possibly low-bitrate) catalog answer
+        so the viewer keeps a browsable screen and can retry shortly.
+        """
         if self.movie is not None:
             await self.stop()
+        # Viewer patience for the whole open sequence: past this the
+        # app degrades instead of letting the proxy retry for a minute.
+        budget = self.kernel.now + self.params.interactive_deadline
         start_at = 0.0
         if resume:
             try:
-                start_at = await self.vod.call("getBookmark", title)
+                start_at = await self.vod.call("getBookmark", title,
+                                               deadline=budget)
             except (ServiceUnavailable, OCSError):
                 start_at = self.position if self.title == title else 0.0
         self.title = title
         self.position = start_at
         self.finished = False
-        await self._open_and_play(start_at)
+        try:
+            await self._open_and_play(start_at, deadline=budget)
+        except (Overloaded, DeadlineExceeded):
+            self.degraded_plays += 1
+            try:
+                answer = await self.vod.call("catalog")
+            except (ServiceUnavailable, OCSError):
+                answer = {"titles": [], "degraded": True}
+            self.emit("degraded", title=title,
+                      titles=len(answer.get("titles") or []))
+            return "degraded"
+        return "playing"
 
-    async def _open_and_play(self, from_position: float) -> None:
-        movie = await self.mms.call("open", self.title, self.data_port)
+    async def _open_and_play(self, from_position: float,
+                             deadline: Optional[float] = None) -> None:
+        # No deadline on the recovery path: a stalled stream is worth
+        # waiting out a fail-over for (section 3.5.2), unlike a fresh
+        # viewer-facing open.
+        movie = await self.mms.call("open", self.title, self.data_port,
+                                    deadline=deadline)
         await self.runtime.invoke(movie, "playFrom", (from_position,),
                                   timeout=self.params.call_timeout)
         self.movie = movie

@@ -77,7 +77,8 @@ class SettopKernel:
                     and self.process is not None and self.process.alive)
         if announce:
             # Fire-and-forget; no reply is awaited (the set is going off).
-            runtime.invoke(mgr, "reportShutdown", (self.host.ip,)).detach()
+            runtime.invoke(mgr, "reportShutdown", (self.host.ip,),
+                           timeout=self.params.call_timeout).detach()
         self.state = "off"
         self.app_manager = None
         if announce:
@@ -156,7 +157,8 @@ class SettopKernel:
                 except Exception:  # noqa: BLE001
                     continue
             try:
-                await runtime.invoke(mgr, "heartbeat", (self.host.ip,))
+                await runtime.invoke(mgr, "heartbeat", (self.host.ip,),
+                                     timeout=self.params.call_timeout)
             except ServiceUnavailable:
                 mgr = None
 

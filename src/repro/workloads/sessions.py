@@ -27,6 +27,9 @@ class SessionStats:
     game_rounds: int = 0
     watch_seconds: float = 0.0
     interruptions: int = 0
+    # PR 4: operations answered by a degraded path (low-bitrate catalog,
+    # cached menu) instead of failing -- the overload success metric.
+    degraded: int = 0
 
     def merge(self, other: "SessionStats") -> None:
         self.opens += other.opens
@@ -38,6 +41,7 @@ class SessionStats:
         self.game_rounds += other.game_rounds
         self.watch_seconds += other.watch_seconds
         self.interruptions += other.interruptions
+        self.degraded += other.degraded
 
 
 class ViewerSession:
@@ -101,10 +105,16 @@ class ViewerSession:
         t0 = kernel.now
         interruptions_before = len(app.interruptions)
         try:
-            await app.play(title)
+            mode = await app.play(title)
         except Exception:  # noqa: BLE001 - open failed (overload/fail-over)
             self.stats.open_failures += 1
             await kernel.sleep(5.0)
+            return
+        if mode == "degraded":
+            # The delivery path shed us but the app kept a screen up;
+            # browse the degraded catalog briefly instead of watching.
+            self.stats.degraded += 1
+            await kernel.sleep(self.rng.uniform(2.0, 10.0))
             return
         self.stats.opens += 1
         self.stats.open_latencies.append(kernel.now - t0)
@@ -118,6 +128,7 @@ class ViewerSession:
             await app.stop()
 
     async def _shop(self) -> None:
+        from repro.ocs.exceptions import DeadlineExceeded, ServiceUnavailable
         kernel = self.cluster.kernel
         app = await self._tune(6)
         if app is None or app.name != "shopping":
@@ -129,6 +140,14 @@ class ViewerSession:
                 item = sorted(catalog)[self.rng.randint(0, len(catalog) - 1)]
                 await app.buy(item)
                 self.stats.orders += 1
+        except (ServiceUnavailable, DeadlineExceeded):
+            # The shop is shedding (or out of budget): fall back to the
+            # navigator's cached menu so the viewer still sees a screen.
+            nav = await self._tune("navigator")
+            if nav is not None and hasattr(nav, "menu"):
+                await nav.menu()
+                self.stats.degraded += 1
+            await kernel.sleep(2.0)
         except Exception:  # noqa: BLE001
             await kernel.sleep(2.0)
 

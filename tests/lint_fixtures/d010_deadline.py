@@ -1,0 +1,18 @@
+"""D010 fixture: OCS invocations without a time budget."""
+
+
+async def unbudgeted(runtime, ref):
+    await runtime.invoke(ref, "ping", ())                   # line 5: D010
+    runtime.invoke(ref, "notify", ("x",)).detach()          # line 6: D010
+
+
+async def budgeted(runtime, ref, params, kernel, extra):
+    await runtime.invoke(ref, "ping", (), timeout=params.call_timeout)
+    await runtime.invoke(ref, "ping", (), deadline=kernel.now + 3.0)
+    await runtime.invoke(ref, "ping", (), **extra)   # assume kwargs budget
+    # Fire-and-forget with a considered exception:
+    runtime.invoke(ref, "bye", ()).detach()   # repro: noqa: D010 - power-off
+
+
+def not_the_rpc(plugin):
+    plugin.invoke("hook")   # one positional arg: not invoke(ref, method, args)

@@ -14,23 +14,24 @@ import hashlib
 from repro.analysis.determinism import reference_scenario_trace
 
 # sha256 of "\n".join(trace lines) for the reference failover scenario.
-# Re-recorded for PR 3: the shared jittered-exponential backoff replaced
-# the fixed sleep(1.0) retry loops (moving retry timestamps),
-# ``Cluster.settle`` now waits for every base service's bindings (not
-# just RAS) before declaring the cluster up, and NS replicas force a
-# state fetch when they adopt a new master (split-brain hardening found
-# by the chaos sweep -- adds a boot-time state_fetched event per slave).
-# All are behaviour changes, not scheduler regressions; the PR 2 kernel
-# fast path itself is unchanged.  These digests pin the new event order
-# against drift.
+# Re-recorded for PR 4 (overload robustness): every OCS call envelope
+# now carries an 8-byte absolute deadline (DEADLINE_BYTES changes wire
+# sizes and therefore transmission timestamps), gated services push
+# periodic load reports to RAS and the NS replicas (new messages on the
+# wire), and rebind/backoff sleeps are clamped to the caller's
+# remaining budget (moving retry timestamps), and viewer-facing app
+# calls carry an 8 s interactive deadline so overloaded apps degrade
+# instead of retrying for a minute.  All are deliberate behaviour
+# changes, not scheduler regressions.  These digests pin the new event
+# order against drift.
 GOLDEN = {
     # (seed, settops, duration): (n_lines, sha256)
     (3, 2, 60.0): (
-        282,
-        "6c4f2f73432ce938645937e131a739df203683e1ad43ca681bf575550281fde8"),
+        283,
+        "c13e4d8481cf47906fd8ba257d22d8b701658f8baca550d52c70345bacc86b2a"),
     (7, 2, 60.0): (
         305,
-        "c6d84cefd1183eafcc756391816e63a99784eaa82607fc16be2c9622740ea069"),
+        "d1c3d249c4dfba868a9e1f48d0b17302ce326c75cc4639dd5ac77c11963241e5"),
 }
 
 

@@ -113,6 +113,22 @@ class TestRuleFixtures:
         assert len(lint_source(source, "x.py", default_rules(),
                                relpath="cluster/builder.py")) == 1
 
+    def test_d010_deadline(self):
+        violations = lint_fixture("d010_deadline.py")
+        assert hits(violations, "D010") == [("D010", 5), ("D010", 6)]
+        # budgeted calls, the noqa'd site, and the 1-arg non-RPC invoke
+        # stay clean
+        assert all(v.line in (5, 6) for v in violations
+                   if v.rule == "D010")
+
+    def test_d010_exempts_tests(self):
+        source = "x = runtime.invoke(ref, 'ping', ())\n"
+        assert lint_source(source, "test_ocs.py", default_rules(),
+                           relpath="test_ocs.py") == []
+        assert hits(lint_source(source, "x.py", default_rules(),
+                                relpath="services/vod.py"),
+                    "D010") == [("D010", 1)]
+
 
 class TestSuppressions:
     def test_noqa_fixture(self):
@@ -144,9 +160,9 @@ class TestEngine:
         assert files == sorted(set(files))
         assert all(f.endswith(".py") for f in files)
 
-    def test_rules_by_id_covers_d001_to_d009(self):
+    def test_rules_by_id_covers_d001_to_d010(self):
         ids = sorted(rules_by_id())
-        assert ids == [f"D00{i}" for i in range(1, 10)]
+        assert ids == [f"D00{i}" for i in range(1, 10)] + ["D010"]
 
     def test_stats_lines(self):
         report = lint_paths([os.path.join(FIXTURES, "d007_print.py")])
