@@ -10,9 +10,18 @@ metrics, which every benchmark prints as a table and appends to
 from __future__ import annotations
 
 import pathlib
+import sys
 from typing import Iterable, List, Sequence
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+# The cluster/viewer scaffolding is shared with the test suite (PR 5);
+# make ``tests`` importable even when pytest is invoked from this dir.
+_REPO_ROOT = str(pathlib.Path(__file__).resolve().parent.parent)
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+from tests.helpers import booted_cluster, viewer_evening  # noqa: E402,F401
 
 
 def report(experiment: str, title: str, headers: Sequence[str],

@@ -12,9 +12,7 @@ and exported-object counts -- checking both claims structurally.
 
 import pytest
 
-from repro.cluster import build_full_cluster
-
-from common import once, report
+from common import booted_cluster, once, report
 
 # Settop-side software also counts toward the paper's "about 25
 # services" (applications are services too, section 1).
@@ -23,9 +21,8 @@ SETTOP_SOFTWARE = ["settop-kernel", "appmgr", "navigator", "vod-app",
 
 
 def census(seed=10001):
-    cluster = build_full_cluster(n_servers=3, seed=seed)
-    stk = cluster.add_settop_kernel(1)
-    assert cluster.boot_settops([stk])
+    cluster, (stk,) = booted_cluster(n_servers=3, seed=seed,
+                                     neighborhoods=[1])
     cluster.run_async(stk.app_manager.tune(5))
     vod = stk.app_manager.current_app
     cluster.run_async(vod.play("T2"))

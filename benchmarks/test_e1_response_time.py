@@ -12,16 +12,14 @@ start-up lands in the 2-4 s band for the 1.5-3 MB binaries, and cover at
 
 import pytest
 
-from repro.cluster import build_full_cluster
 from repro.cluster.media import DEFAULT_APPS
 
-from common import once, report
+from common import booted_cluster, once, report
 
 
 def run_app_starts():
-    cluster = build_full_cluster(n_servers=3, seed=1001)
-    stk = cluster.add_settop_kernel(1)
-    assert cluster.boot_settops([stk])
+    cluster, (stk,) = booted_cluster(n_servers=3, seed=1001,
+                                     neighborhoods=[1])
     rows = []
     # Tune through every application twice; second visits measure a warm
     # name cache (the paper's steady state).
@@ -70,10 +68,8 @@ def test_e1_concurrent_downloads_share_downlink(benchmark):
     per settop (section 3.1), not shared."""
 
     def run():
-        cluster = build_full_cluster(n_servers=3, seed=1002)
-        a = cluster.add_settop_kernel(1)
-        b = cluster.add_settop_kernel(1)
-        assert cluster.boot_settops([a, b])
+        cluster, (a, b) = booted_cluster(n_servers=3, seed=1002,
+                                         neighborhoods=[1, 1])
         times = {}
 
         async def tune(stk, tag):

@@ -31,11 +31,19 @@ def run_point(ras_poll: float, seed: int = 9001):
             ssc_ref(cluster.servers[i].ip), "startService", ("pbping",)))
     assert cluster.settle(extra_names=["svc/pbping"])
 
-    # Measure steady-state RAS message rate over a quiet window.
+    # Measure steady-state RAS message rates over a quiet window.  The
+    # poll-scaled audit traffic (checkStatus) is what the paper's knob
+    # controls; the SSC's coalesced load reports (PR 5) ride their own
+    # fixed load_report_interval cadence, so they are accounted
+    # separately rather than diluting the trade-off curve.
     window = 120.0
-    before = cluster.net.count_kind("rpc.call.RAS.")
+    before_polls = cluster.net.count_kind("rpc.call.RAS.checkStatus")
+    before_reports = cluster.net.count_kind("rpc.call.RAS.reportLoad")
     cluster.run_for(window)
-    ras_rate = (cluster.net.count_kind("rpc.call.RAS.") - before) / window
+    ras_rate = (cluster.net.count_kind("rpc.call.RAS.checkStatus")
+                - before_polls) / window
+    report_rate = (cluster.net.count_kind("rpc.call.RAS.reportLoad")
+                   - before_reports) / window
 
     # Then measure fail-over time (mean of 2 crashes).
     times = []
@@ -60,6 +68,7 @@ def run_point(ras_poll: float, seed: int = 9001):
             ssc_ref(old), "startService", ("pbping",)))
         cluster.run_for(5.0)
     return {"poll": ras_poll, "ras_msgs_per_s": ras_rate,
+            "report_msgs_per_s": report_rate,
             "failover_s": sum(times) / len(times),
             "bound_s": params.max_failover}
 
@@ -71,10 +80,13 @@ def test_e9_poll_interval_tradeoff(benchmark):
 
     points = once(benchmark, run)
     report("E9", "RAS poll interval: messages vs fail-over (section 7.2.1)",
-           ["poll_s", "ras_msgs_per_s", "mean_failover_s", "bound_s"],
+           ["poll_s", "poll_msgs_per_s", "report_msgs_per_s",
+            "mean_failover_s", "bound_s"],
            [(p["poll"], round(p["ras_msgs_per_s"], 2),
+             round(p["report_msgs_per_s"], 2),
              round(p["failover_s"], 1), p["bound_s"]) for p in points],
-           notes="paper setting is 5s: cheap enough, fast enough")
+           notes="paper setting is 5s: cheap enough, fast enough; load "
+                 "reports ride load_report_interval, not the poll knob")
     by = {p["poll"]: p for p in points}
     # Messages fall as the interval grows...
     assert by[1.0]["ras_msgs_per_s"] > by[5.0]["ras_msgs_per_s"] > \
@@ -82,6 +94,10 @@ def test_e9_poll_interval_tradeoff(benchmark):
     # ...roughly inversely (5x interval -> ~1/5 the traffic, +-50%).
     ratio = by[1.0]["ras_msgs_per_s"] / by[5.0]["ras_msgs_per_s"]
     assert 2.5 <= ratio <= 7.5
+    # The load-report channel is poll-invariant: same rate at every
+    # point (it scales with load_report_interval instead).
+    rates = [p["report_msgs_per_s"] for p in points]
+    assert max(rates) - min(rates) <= 0.25 * max(rates)
     # ...while fail-over slows down.
     assert by[30.0]["failover_s"] > by[1.0]["failover_s"]
     # Every point respects its own analytic bound.

@@ -223,6 +223,52 @@ def bench_admission_gate(n: int) -> Dict[str, Any]:
     return out
 
 
+# -- binding cache ----------------------------------------------------
+
+
+def bench_binding_cache(n: int) -> Dict[str, Any]:
+    """The settop binding cache's hit path plus singleflight herds.
+
+    At population scale (PR 5) every application call crosses this
+    cache, so the hit path must stay dictionary-cheap; the herd half
+    checks that a post-invalidation stampede costs one resolver round
+    (plus waiter wakeups), not one round per caller.
+    """
+    from repro.core.naming.cache import BindingCache
+    from repro.sim.kernel import Kernel, gather
+
+    kernel = Kernel()
+    cache = BindingCache(kernel)
+
+    async def resolver(name):
+        await kernel.sleep(0.001)   # one simulated NS round trip
+        return ("ref", name)
+
+    herds = max(1, n // 200)
+
+    def run() -> Dict[str, Any]:
+        async def hot_path():
+            for _ in range(n):
+                await cache.resolve("svc/vod", resolver)
+
+        kernel.run_until_complete(hot_path())
+
+        async def herd():
+            await gather(kernel, [cache.resolve("svc/vod", resolver)
+                                  for _ in range(32)])
+
+        for _ in range(herds):
+            cache.invalidate("svc/vod")
+            kernel.run_until_complete(herd())
+        return {"lookups": n + herds * 32, "hits": cache.hits,
+                "coalesced": cache.coalesced,
+                "ns_rounds": cache.misses}
+
+    out = _timed(run)
+    out["lookups_per_sec"] = round(out["lookups"] / max(out["wall_s"], 1e-9))
+    return out
+
+
 # -- end to end -------------------------------------------------------
 
 
@@ -269,6 +315,7 @@ def run_suite(quick: bool = False) -> Dict[str, Any]:
     benchmarks["trace_select"] = bench_trace_select(20_000 * scale,
                                                     queries=100 * scale)
     benchmarks["admission_gate"] = bench_admission_gate(20_000 * scale)
+    benchmarks["binding_cache"] = bench_binding_cache(20_000 * scale)
     benchmarks["boot_storm_e11"] = bench_boot_storm(16 if quick else 48)
     return {
         "schema": SCHEMA,
@@ -288,7 +335,7 @@ def format_lines(results: Dict[str, Any]) -> List[str]:
     for name, data in results["benchmarks"].items():
         parts = [f"{name}: {data['wall_s'] * 1000:.1f} ms"]
         for key in ("events_per_sec", "messages_per_sec", "cycles_per_sec",
-                    "speedup", "sim_seconds_per_wall_s"):
+                    "lookups_per_sec", "speedup", "sim_seconds_per_wall_s"):
             if key in data:
                 parts.append(f"{key}={data[key]}")
         lines.append("  " + "  ".join(parts))

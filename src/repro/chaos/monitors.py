@@ -15,6 +15,9 @@ The catalog (DESIGN.md section 9):
   replicas is up and connected (section 4.6);
 - a dead binding is audited out within the paper's detection bound
   (section 4.7, ``Params.chaos_audit_bound``);
+- a per-host binding cache never keeps *serving* a dead binding past
+  that same bound: coherence is by exception, so a hit on a dead entry
+  must raise-and-invalidate, not mask the failure (PR 5);
 - every settop is either served or its outage is accounted in an
   :class:`AvailabilityTimeline`, and service returns once faults heal
   (section 9.5);
@@ -35,6 +38,7 @@ from repro.chaos.injector import FaultInjector
 from repro.cluster.builder import Cluster
 from repro.core.params import Params
 from repro.metrics.availability import AvailabilityTimeline
+from repro.ocs.objref import ANY_INCARNATION
 
 #: how long a killed process gets to drain its cancelled tasks before
 #: an undone task counts as a leaked Future.
@@ -305,6 +309,83 @@ class AuditConvergenceMonitor(Monitor):
                    tuple(ref.incarnation) for proc in host.processes)
 
 
+class CacheCoherenceMonitor(Monitor):
+    """A binding cache must not keep *serving* a dead binding (PR 5).
+
+    Coherence is by exception: a cache may lazily *hold* a dead entry
+    forever (nobody is using it, so nobody learns it died), but if
+    lookups keep hitting an entry whose referent process is dead, the
+    very next use raises and the client must invalidate.  A dead entry
+    that accumulates hits past ``Params.chaos_audit_bound`` after its
+    referent died means the invalidation path is broken and the cache
+    is masking the failure from the rebind machinery -- exactly the bug
+    a coherence-free cache design must be policed against.  The clock
+    pauses while a partition is in force (a partitioned settop's calls
+    cannot raise, so it cannot learn).
+    """
+
+    name = "cache_coherence"
+
+    def bind(self, cluster, injector, params, context) -> None:
+        super().bind(cluster, injector, params, context)
+        # (host_ip, name, endpoint+incarnation) -> (first seen dead at,
+        # entry.hits at that moment)
+        self._dead_since: Dict[tuple, tuple] = {}
+
+    def _caches(self):
+        hosts = list(self.cluster.servers) + list(self.cluster.settops)
+        for host in hosts:
+            if not host.up:
+                continue
+            cache = getattr(host, "binding_cache", None)
+            if cache is not None:
+                yield host, cache
+
+    def check(self) -> List[Violation]:
+        now = self.cluster.now
+        if self.cluster.net.partitioned:
+            self._dead_since.clear()
+            return []
+        out: List[Violation] = []
+        seen = set()
+        for host, cache in self._caches():
+            for name, entry in cache.entries():
+                if tuple(entry.ref.incarnation) == tuple(ANY_INCARNATION):
+                    continue  # bootstrap refs never go stale
+                if self._ref_alive(entry.ref):
+                    continue
+                key = (host.ip, name, entry.ref.ip, entry.ref.port,
+                       tuple(entry.ref.incarnation))
+                seen.add(key)
+                first, hits_then = self._dead_since.setdefault(
+                    key, (now, entry.hits))
+                if (entry.hits > hits_then
+                        and now - first > self.params.chaos_audit_bound):
+                    out.append(self._violation(
+                        f"{host.ip} cache still serving dead binding "
+                        f"{name} -> {entry.ref.ip}:{entry.ref.port} "
+                        f"{now - first:.1f}s after its referent died "
+                        f"({entry.hits - hits_then} hits since)"))
+                    del self._dead_since[key]
+        for key in list(self._dead_since):
+            if key not in seen:
+                del self._dead_since[key]
+        return out
+
+    def finish(self) -> List[Violation]:
+        return self.check()
+
+    def _ref_alive(self, ref) -> bool:
+        try:
+            host = self.cluster.net.host_at(ref.ip)
+        except KeyError:
+            return False
+        if not host.up:
+            return False
+        return any(proc.alive and tuple(proc.incarnation) ==
+                   tuple(ref.incarnation) for proc in host.processes)
+
+
 class SettopServiceMonitor(Monitor):
     """Every settop is served, or its outage is on an availability timeline.
 
@@ -537,8 +618,9 @@ def _gated_runtimes(cluster: Cluster):
 def default_monitors() -> List[Monitor]:
     """The full invariant catalog, fresh instances."""
     return [CscPrimaryMonitor(), NsAgreementMonitor(),
-            AuditConvergenceMonitor(), SettopServiceMonitor(),
-            FutureLeakMonitor(), ExpiredWorkMonitor(), QueueBoundMonitor()]
+            AuditConvergenceMonitor(), CacheCoherenceMonitor(),
+            SettopServiceMonitor(), FutureLeakMonitor(),
+            ExpiredWorkMonitor(), QueueBoundMonitor()]
 
 
 class MonitorBus:

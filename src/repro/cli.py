@@ -166,6 +166,38 @@ def _cmd_chaos(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_population(args) -> int:
+    from repro.workloads.population import run_population
+
+    settops = args.settops
+    duration = args.duration
+    if args.quick:
+        # Cap the population, not the duration: the hit rate is set by
+        # tunes-per-settop, so shortening the run would starve the cache.
+        settops = min(settops, 300)
+    result = run_population(settops=settops, duration=duration,
+                            n_servers=args.servers,
+                            neighborhoods_per_server=args.neighborhoods,
+                            seed=args.seed, cached=not args.uncached)
+    row = result.row()
+    print(f"== population: {row['settops']} settops, {duration:.0f}s, "
+          f"{args.servers} servers, cache "
+          f"{'off' if args.uncached else 'on'} ==")
+    for key in ("ops", "failures", "ns_resolves", "resolves_per_settop",
+                "hit_rate", "msgs_per_settop"):
+        print(f"  {key}: {row[key]}")
+    print(f"  cache: hits={result.cache_hits} misses={result.cache_misses} "
+          f"coalesced={result.cache_coalesced}")
+    if result.op_failures > result.ops * 0.01:
+        print(f"FAIL: {result.op_failures} failed viewer ops", file=sys.stderr)
+        return 1
+    if not args.uncached and result.hit_rate < 0.90:
+        print(f"FAIL: binding cache hit rate {result.hit_rate:.3f} < 0.90",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_determinism_check(args) -> int:
     from repro.analysis import double_run_diff
     diff = double_run_diff(args.seed, settops=args.settops,
@@ -249,6 +281,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run each seed twice and require identical "
                             "trace digests")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    population = sub.add_parser(
+        "population", help="population-scale settop workload (E15: binding "
+                           "cache + NS resolve traffic)")
+    population.add_argument("--settops", type=int, default=2000,
+                            help="simulated settop population (default 2000)")
+    population.add_argument("--duration", type=float, default=240.0,
+                            help="simulated seconds of viewing (default 240)")
+    population.add_argument("--servers", type=int, default=3,
+                            help="server count (default 3)")
+    population.add_argument("--neighborhoods", type=int, default=4,
+                            help="neighborhoods per server (default 4)")
+    population.add_argument("--seed", type=int, default=0)
+    population.add_argument("--uncached", action="store_true",
+                            help="disable the binding cache (control run; "
+                                 "skips the hit-rate floor)")
+    population.add_argument("--quick", action="store_true",
+                            help="cap the population at 300 for CI smoke")
+    population.set_defaults(fn=_cmd_population)
     return parser
 
 

@@ -208,6 +208,30 @@ class Cluster:
         plant.setdefault(neighborhood, []).append(host.ip)
         return host
 
+    def add_population(self, count: int) -> List[Host]:
+        """Attach ``count`` bare settop hosts, round-robin across every
+        neighborhood (PR 5).
+
+        Population-scale workloads (:mod:`repro.workloads.population`)
+        attach their own lightweight client stack to each host instead
+        of booting a full :class:`SettopKernel`, so thousands of
+        settops fit in one run.  The plant's address space allows 254
+        settops per neighborhood; build the cluster with more
+        neighborhoods per server to raise the ceiling.
+        """
+        per_nbhd = 254
+        capacity = per_nbhd * len(self.neighborhoods)
+        if len(self.settops) + count > capacity:
+            raise ValueError(
+                f"population of {len(self.settops) + count} settops exceeds "
+                f"plant capacity {capacity} "
+                f"({len(self.neighborhoods)} neighborhoods x {per_nbhd})")
+        hosts: List[Host] = []
+        for i in range(count):
+            nbhd = self.neighborhoods[i % len(self.neighborhoods)]
+            hosts.append(self.add_settop(nbhd))
+        return hosts
+
     def add_settop_kernel(self, neighborhood: int, power_on: bool = True,
                           **kwargs):
         """Attach a settop *with software*: returns its SettopKernel."""

@@ -13,9 +13,10 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.control.registry import ServiceEnv, ServiceRegistry
-from repro.core.naming.client import NameClient
+from repro.core.naming.client import NameClient, ns_root_ref
 from repro.core.naming.errors import NamingError
 from repro.idl import MethodDef, register_interface
+from repro.ocs.admission import coalesce_gauges
 from repro.ocs.exceptions import OCSError, ServiceUnavailable
 from repro.ocs.objref import ANY_INCARNATION, ObjectRef
 from repro.ocs.runtime import CallContext, OCSRuntime
@@ -85,6 +86,8 @@ class ServerServiceController:
         self._name_client = NameClient(self.runtime, env.ns_ip, env.params)
         self.base_services = list(base_services or [])
         self.process.create_task(self._startup(), name="ssc-startup").detach()
+        self.process.create_task(self._load_report_loop(),
+                                 name="ssc-load-report").detach()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -198,6 +201,82 @@ class ServerServiceController:
     def running_services(self) -> List[str]:
         return sorted(name for name, e in self._managed.items()
                       if e.process is not None and e.process.alive)
+
+    # -- aggregated load reporting (PR 5) ----------------------------------
+
+    def _collect_load_reports(self):
+        """Scrape managed services' gate gauges and replica bindings.
+
+        In-process scraping is free (same machine, no wire messages --
+        the same side door the chaos monitors use via process
+        attachments); what used to be one report message *per gated
+        service* per interval collapses into one batch per server.
+        Returns ``(reports, entries)``: per-service gauge dicts for the
+        RAS and ``(path, member, load)`` tuples for the Selectors.
+        """
+        reports: Dict[str, dict] = {}
+        entries: List[tuple] = []
+        for name in sorted(self._managed):
+            entry = self._managed[name]
+            service = entry.service
+            if (service is None or entry.process is None
+                    or not entry.process.alive):
+                continue
+            gate = getattr(getattr(service, "runtime", None), "admission", None)
+            if gate is None:
+                continue
+            reports[name] = gate.gauges()
+            load = gate.load()
+            for binding in list(getattr(service, "_replica_bindings", [])):
+                path = (f"{binding['parent']}/{binding['context']}"
+                        if binding["parent"] else binding["context"])
+                entries.append((path, binding["member"], load))
+        return reports, entries
+
+    async def _load_report_loop(self) -> None:
+        """One coalesced load report per server per interval.
+
+        The RAS gets every gated service's gauge dict in a single
+        ``reportLoadBatch``; each name-service replica gets one batch of
+        ``(path, member, load)`` selector entries (Selector state is
+        per-replica, so every replica needs its own copy).  Best-effort
+        throughout: a dead RAS or minority NS replica must not wedge the
+        SSC.
+        """
+        params = self.env.params
+        ras_ref: Optional[ObjectRef] = None
+        ns_ips = (self.env.cluster.get("ns_replica_ips", [])
+                  if self.env.cluster else [])
+        while True:
+            await self.kernel.sleep(params.load_report_interval)
+            reports, entries = self._collect_load_reports()
+            if not reports and not entries:
+                continue
+            self.env.emit("ssc", "load_report",
+                          **coalesce_gauges(reports))
+            if ras_ref is None:
+                try:
+                    ras_ref = await self._name_client.resolve(
+                        f"svc/ras/{self.env.host.ip}")
+                except (NamingError, ServiceUnavailable):
+                    ras_ref = None
+            if ras_ref is not None and reports:
+                try:
+                    await self.runtime.invoke(
+                        ras_ref, "reportLoadBatch", (reports,),
+                        timeout=params.ras_call_timeout)
+                except (ServiceUnavailable, OCSError):
+                    ras_ref = None
+            if not entries:
+                continue
+            for ns_ip in ns_ips:
+                try:
+                    await self.runtime.invoke(
+                        ns_root_ref(ns_ip, params.ns_port),
+                        "reportLoadBatch", (entries,),
+                        timeout=params.ras_call_timeout)
+                except (ServiceUnavailable, OCSError):
+                    continue
 
     # -- object tracking (the RAS feed) ------------------------------------
 

@@ -7,6 +7,7 @@ replicated on every server with master/slave replication and majority
 election.
 """
 
+from repro.core.naming.cache import BindingCache, cache_for
 from repro.core.naming.client import NameClient, ns_replica_ref, ns_root_ref
 from repro.core.naming.errors import (
     AlreadyBound,
@@ -22,8 +23,10 @@ from repro.core.naming.store import NameStore
 __all__ = [
     "AlreadyBound",
     "BUILTIN_SELECTORS",
+    "BindingCache",
     "InvalidName",
     "NameClient",
+    "cache_for",
     "NameNotFound",
     "NameReplicaProcess",
     "NameStore",

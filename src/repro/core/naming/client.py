@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 import repro.core.naming.interfaces  # noqa: F401 - registers IDL types
+from repro.core.naming.cache import BindingCache
 from repro.core.naming.errors import NamingError, NoMaster
 from repro.core.params import Params
 from repro.ocs.exceptions import ServiceUnavailable
@@ -38,10 +39,19 @@ class NameClient:
     replica that stops answering rotates the client to the next one --
     the availability the per-server replication exists to provide
     (section 4.6).  A settop's list comes from its boot parameters.
+
+    ``cache`` plugs in the host's shared :class:`BindingCache` (PR 5):
+    ``resolve()`` then answers repeats from the cache and coalesces
+    concurrent misses into one name-service call.  Coherence is by
+    exception -- callers report bad bindings via :meth:`invalidate`
+    when a use raises.  Server-side clients (binding watchdogs,
+    replica-conflict resolution, settle probes) stay uncached because
+    they exist to observe the *real* name-space state.
     """
 
     def __init__(self, runtime: OCSRuntime, ns_ip,
-                 params: Optional[Params] = None):
+                 params: Optional[Params] = None,
+                 cache: Optional[BindingCache] = None):
         self.runtime = runtime
         self.params = params or Params()
         ips = [ns_ip] if isinstance(ns_ip, str) else list(ns_ip)
@@ -49,6 +59,7 @@ class NameClient:
             raise ValueError("NameClient needs at least one replica address")
         self._roots = [ns_root_ref(ip, self.params.ns_port) for ip in ips]
         self._current = 0
+        self.cache = cache
 
     @property
     def root(self) -> ObjectRef:
@@ -66,7 +77,18 @@ class NameClient:
         raise last_error
 
     async def resolve(self, name: str) -> ObjectRef:
+        if self.cache is not None:
+            return await self.cache.resolve(name, self._resolve_direct)
+        return await self._resolve_direct(name)
+
+    async def _resolve_direct(self, name: str) -> ObjectRef:
         return await self._invoke("resolve", (name,))
+
+    def invalidate(self, name: str, ref: Optional[ObjectRef] = None) -> None:
+        """Report a cached binding bad (a use raised StaleReference /
+        InvalidObjectReference / Overloaded); no-op when uncached."""
+        if self.cache is not None:
+            self.cache.invalidate(name, ref)
 
     async def bind(self, name: str, ref: ObjectRef) -> None:
         await self._invoke("bind", (name, ref))

@@ -79,3 +79,11 @@ class ContextServant:
     async def reportLoad(self, ctx: CallContext, name: str, member: str,
                          load: float):
         self._replica.selector_state.report_load(self._abs(name), member, load)
+
+    async def reportLoadBatch(self, ctx: CallContext, entries):
+        # PR 5: the SSC's coalesced per-server report.  Selector state
+        # is per-replica and advisory, so -- like reportLoad -- this is
+        # deliberately not a replicated mutation.
+        for name, member, load in entries:
+            self._replica.selector_state.report_load(self._abs(name), member,
+                                                     load)

@@ -34,6 +34,9 @@ NAMING_CONTEXT = register_interface(
         "listRepl": ("name",),
         "setSelector": ("name", "spec"),
         "reportLoad": ("name", "member", "load"),
+        # PR 5: one coalesced selector-load batch per server per
+        # interval; ``entries`` is a list of (path, member, load).
+        "reportLoadBatch": ("entries",),
     },
     doc="Hierarchical naming context (paper section 4.4)",
 )

@@ -45,6 +45,18 @@ class Params:
     # -- client library ----------------------------------------------------
     rebind_backoff: float = 0.0       # 0 = immediate re-resolve (section 8.2)
     call_timeout: float = 3.0
+    # Total rebind budget when the caller does not pass an explicit
+    # ``give_up_after``: every cooldown/backoff sleep inside
+    # RebindingProxy.call() is clamped to this budget even with
+    # ``deadline=None`` (PR 5 regression fix).
+    rebind_give_up_after: float = 60.0
+
+    # -- population scale (PR 5, paper sections 5.1 / 9.6) -----------------
+    # Per-host binding cache: resolve once, reuse the ref until a use
+    # raises StaleReference/InvalidObjectReference or the replica sheds.
+    # Off = every resolve() is a name-service round trip (the E15
+    # uncached control row).
+    binding_cache: bool = True
 
     # -- retry backoff (core/backoff.py) ---------------------------------
     # Start-up races (notifyReady before the SSC listens, bind before the

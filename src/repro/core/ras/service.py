@@ -41,6 +41,10 @@ register_interface("RAS", {
     # here so operators (and the chaos monitors) can read saturation off
     # the audit service the paper already routes status through.
     "reportLoad": ("service", "gauges"),
+    # PR 5: the SSC coalesces every gated service's gauges into one
+    # batch per server per load_report_interval -- O(servers) report
+    # messages instead of O(services).
+    "reportLoadBatch": ("reports",),
     "loadGauges": (),
 }, doc="Resource Audit Service (section 7.2)")
 
@@ -217,6 +221,11 @@ class ResourceAuditService(Service):
             self.emit("service_shedding", service=service,
                       queue_depth=gauges.get("queue_depth", 0))
 
+    def report_load_batch(self, reports: dict) -> None:
+        """The local SSC pushed one coalesced gauge batch (PR 5)."""
+        for service in sorted(reports):
+            self.report_load(service, reports[service])
+
     def load_gauges(self) -> dict:
         return {name: dict(g) for name, g in sorted(self._load_gauges.items())}
 
@@ -243,6 +252,9 @@ class _RASServant:
 
     async def reportLoad(self, ctx: CallContext, service, gauges):
         self._svc.report_load(service, gauges)
+
+    async def reportLoadBatch(self, ctx: CallContext, reports):
+        self._svc.report_load_batch(dict(reports))
 
     async def loadGauges(self, ctx: CallContext):
         return self._svc.load_gauges()

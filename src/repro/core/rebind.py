@@ -51,12 +51,19 @@ class RebindingProxy:
     def __init__(self, runtime: OCSRuntime, names: NameClient, name: str,
                  params: Optional[Params] = None,
                  rng: Optional[SeededRandom] = None,
-                 give_up_after: float = 60.0):
+                 give_up_after: Optional[float] = None):
         self._runtime = runtime
         self._names = names
         self._name = name
         self._params = params or names.params
         self._rng = rng or SeededRandom(0)
+        # ``None`` means "use the params budget".  Either way the value
+        # feeds the loop budget in call(), so every cooldown/backoff
+        # sleep is clamped to it even when ``deadline`` is None (the
+        # PR 5 regression fix: a params-supplied give_up_after used to
+        # be advisory text in the final error only).
+        if give_up_after is None:
+            give_up_after = self._params.rebind_give_up_after
         self._give_up_after = give_up_after
         self._ref: Optional[ObjectRef] = None
         # Shed replicas under client-side cooldown: endpoint -> (until,
@@ -73,6 +80,22 @@ class RebindingProxy:
 
     def invalidate(self) -> None:
         """Drop the cached reference (e.g. after a data-path stall)."""
+        self._drop_ref()
+
+    def _drop_ref(self) -> None:
+        """Drop our ref AND report it bad to the shared binding cache.
+
+        Without the report the host's BindingCache would hand the same
+        dead/shedding ref straight back on the next resolve and the
+        rebind loop could never make progress (coherence by exception,
+        PR 5).  The ref match inside invalidate() keeps a late failure
+        report from evicting a binding another component already
+        refreshed.
+        """
+        if self._ref is not None:
+            invalidate = getattr(self._names, "invalidate", None)
+            if invalidate is not None:
+                invalidate(self._name, self._ref)
         self._ref = None
 
     def _cooling(self, ref: ObjectRef) -> Optional[Overloaded]:
@@ -119,7 +142,9 @@ class RebindingProxy:
                     # The Selector handed back a replica we know is
                     # shedding.  Fail fast with the server's own signal
                     # so the application can degrade instead of camping
-                    # on a saturated pool for the whole budget.
+                    # on a saturated pool for the whole budget.  (Keep
+                    # the cache entry: the replica is alive, merely
+                    # cooling on *this* client.)
                     self._ref = None
                     raise cooling
             try:
@@ -133,7 +158,7 @@ class RebindingProxy:
                 self.sheds_seen += 1
                 last_error = err
                 self._note_shed(self._ref, err)
-                self._ref = None
+                self._drop_ref()
                 self.rebinds += 1
                 await kernel.sleep(self._clamped(
                     self._retry_delay(backoff), budget))
@@ -143,7 +168,7 @@ class RebindingProxy:
             except ServiceUnavailable as err:
                 # The reference went stale: rebind through the name service.
                 last_error = err
-                self._ref = None
+                self._drop_ref()
                 self.rebinds += 1
                 if backoff > 0:
                     await kernel.sleep(self._clamped(

@@ -27,6 +27,7 @@ from repro.ocs.exceptions import (
     Overloaded,
     RemoteException,
     ServiceUnavailable,
+    StaleReference,
 )
 from repro.ocs.objref import ObjectRef
 from repro.ocs.runtime import CallContext, OCSRuntime, Stub
@@ -48,6 +49,7 @@ __all__ = [
     "RemoteException",
     "ReservationError",
     "ServiceUnavailable",
+    "StaleReference",
     "Stub",
     "neighborhood_of",
 ]

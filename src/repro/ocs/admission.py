@@ -94,3 +94,24 @@ class AdmissionGate:
             "shedding": self.shedding(),
             "shed_count": self.shed_count,
         }
+
+
+def coalesce_gauges(gauges_by_service: dict) -> dict:
+    """Roll per-service gate gauges up into one server-level snapshot.
+
+    Used by the SSC's aggregated load report (PR 5): the wire carries
+    one batch per server per interval, and this rollup rides along so
+    operators and monitors get a single server-health number without
+    re-deriving it.  Keys mirror :meth:`AdmissionGate.gauges`.
+    """
+    rollup = {"load": 0.0, "inflight": 0, "queue_depth": 0,
+              "shedding": False, "shed_count": 0, "services": 0}
+    for name in sorted(gauges_by_service):
+        g = gauges_by_service[name]
+        rollup["load"] = max(rollup["load"], g.get("load", 0.0))
+        rollup["inflight"] += g.get("inflight", 0)
+        rollup["queue_depth"] += g.get("queue_depth", 0)
+        rollup["shedding"] = rollup["shedding"] or bool(g.get("shedding"))
+        rollup["shed_count"] += g.get("shed_count", 0)
+        rollup["services"] += 1
+    return rollup

@@ -36,6 +36,18 @@ class InvalidObjectReference(ServiceUnavailable):
     """
 
 
+class StaleReference(InvalidObjectReference):
+    """The endpoint is alive but the reference's incarnation is old.
+
+    The implementor process was restarted (new incarnation timestamp)
+    since this reference was minted, so the reference names a previous
+    life of the object.  This is the signal the paper's lazy validation
+    scheme (section 3.2.1) relies on: references may be cached
+    indefinitely because a stale one raises on next use, at which point
+    the client drops its cached binding and re-resolves.
+    """
+
+
 class Overloaded(ServiceUnavailable):
     """The servant's admission gate shed this call (PR 4, paper section 5.1).
 

@@ -28,6 +28,7 @@ from repro.ocs.exceptions import (
     OCSError,
     Overloaded,
     RemoteException,
+    StaleReference,
 )
 from repro.ocs.objref import ANY_INCARNATION, ObjectRef
 from repro.sim.errors import CancelledError
@@ -271,9 +272,17 @@ class OCSRuntime:
         incarnation_ok = (payload["incarnation"] == self.process.incarnation
                           or payload["incarnation"] == ANY_INCARNATION)
         if export is None or not incarnation_ok:
-            self._reply_error(msg, call_id,
-                              "InvalidObjectReference",
-                              f"no live object {object_id!r} here")
+            if export is not None:
+                # The object id is exported, but by a newer incarnation
+                # of this process: the caller holds a reference into a
+                # previous life.  Distinguishing this lets binding
+                # caches invalidate precisely (coherence by exception).
+                self._reply_error(msg, call_id, "StaleReference",
+                                  f"stale incarnation for {object_id!r}")
+            else:
+                self._reply_error(msg, call_id,
+                                  "InvalidObjectReference",
+                                  f"no live object {object_id!r} here")
             return
         if self.verifier is not None:
             if not self.verifier(payload.get("credentials"), payload["caller"]):
@@ -412,6 +421,8 @@ class OCSRuntime:
     @staticmethod
     def _materialize(exc_name: str, detail: str,
                      retry_after: Optional[float] = None) -> BaseException:
+        if exc_name == "StaleReference":
+            return StaleReference(detail)
         if exc_name == "InvalidObjectReference":
             return InvalidObjectReference(detail)
         if exc_name == "AuthError":

@@ -13,7 +13,7 @@ from typing import List, Optional
 from repro.core.backoff import Backoff
 from repro.core.control.registry import ServiceEnv
 from repro.core.control.ssc import ssc_ref
-from repro.core.naming.client import NameClient, ns_root_ref
+from repro.core.naming.client import NameClient
 from repro.core.naming.errors import AlreadyBound, NamingError
 from repro.ocs.admission import AdmissionGate
 from repro.ocs.exceptions import OCSError, ServiceUnavailable
@@ -69,57 +69,19 @@ class Service:
                        max_elapsed=max_elapsed)
 
     async def run(self) -> None:
-        """Process main: start, then serve until killed."""
+        """Process main: start, then serve until killed.
+
+        Overload reporting (PR 4) no longer spawns a per-service loop
+        here: the SSC scrapes every managed service's admission gauges
+        and replica bindings in-process and sends *one* coalesced
+        ``reportLoadBatch`` per server per ``load_report_interval``
+        (PR 5) -- O(servers) report messages instead of O(services).
+        """
         await self.start()
-        if self.runtime.admission is not None:
-            self.spawn_task(self._load_report_loop(),
-                            name="load-report").detach()
         await self.kernel.create_future()  # park; tasks do the serving
 
     async def start(self) -> None:
         raise NotImplementedError
-
-    # -- overload reporting (PR 4) ----------------------------------------
-
-    async def _load_report_loop(self) -> None:
-        """Push admission-gate gauges to the local RAS and the Selectors.
-
-        Load reports go to *every* name-service replica because Selector
-        state is per-replica (each replica resolves independently); the
-        RAS gets the full gauge dict for operators and monitors.  All
-        pushes are best-effort: a dead RAS or minority NS replica must
-        not wedge the service.
-        """
-        gate = self.runtime.admission
-        ras_ref: Optional[ObjectRef] = None
-        ns_ips = self.env.cluster.get("ns_replica_ips", []) if self.env.cluster else []
-        while True:
-            await self.kernel.sleep(self.params.load_report_interval)
-            load = gate.load()
-            if ras_ref is None:
-                try:
-                    ras_ref = await self.names.resolve(f"svc/ras/{self.host.ip}")
-                except (NamingError, ServiceUnavailable):
-                    ras_ref = None
-            if ras_ref is not None:
-                try:
-                    await self.runtime.invoke(
-                        ras_ref, "reportLoad",
-                        (self.service_name, gate.gauges()),
-                        timeout=self.params.ras_call_timeout)
-                except (ServiceUnavailable, OCSError):
-                    ras_ref = None
-            for binding in list(self._replica_bindings):
-                path = (f"{binding['parent']}/{binding['context']}"
-                        if binding["parent"] else binding["context"])
-                for ns_ip in ns_ips:
-                    try:
-                        await self.runtime.invoke(
-                            ns_root_ref(ns_ip, self.params.ns_port),
-                            "reportLoad", (path, binding["member"], load),
-                            timeout=self.params.ras_call_timeout)
-                    except (ServiceUnavailable, OCSError):
-                        continue
 
     # -- start-up helpers -------------------------------------------------
 

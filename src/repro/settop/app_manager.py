@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.naming.cache import cache_for
 from repro.core.naming.client import NameClient
 from repro.core.params import Params
 from repro.core.rebind import RebindingProxy
@@ -36,7 +37,8 @@ class AppManager:
         self.params: Params = settop_kernel.params
         self.runtime = OCSRuntime(process, settop_kernel.network,
                                   principal=f"appmgr@{settop_kernel.host.ip}")
-        self.names = NameClient(self.runtime, boot_params.get("ns_ips", boot_params["ns_ip"]), self.params)
+        self.names = NameClient(self.runtime, boot_params.get("ns_ips", boot_params["ns_ip"]), self.params,
+                                cache=cache_for(settop_kernel.host, self.params))
         self.rds = RebindingProxy(self.runtime, self.names, "svc/rds",
                                   self.params)
         self.channels = dict(boot_params.get("channels", {}))

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.core.naming.cache import cache_for
 from repro.core.naming.client import NameClient
 from repro.core.rebind import RebindingProxy
 from repro.ocs.runtime import OCSRuntime
@@ -22,8 +23,11 @@ class SettopApp:
         self.params = am.params
         self.runtime = OCSRuntime(process, am.settop.network,
                                   principal=f"{self.name}@{self.host.ip}")
+        # Apps come and go with every channel change, but the host's
+        # binding cache persists: a fresh app's first resolve of a name
+        # any earlier component resolved is answered locally (PR 5).
         self.names = NameClient(self.runtime, am.boot_params.get("ns_ips", am.boot_params["ns_ip"]),
-                                self.params)
+                                self.params, cache=cache_for(self.host, self.params))
         #: set once start() completes; the AM awaits it before handing
         #: the app to the viewer (remote-control events queue until then)
         self.ready = Event(self.kernel)

@@ -132,10 +132,18 @@ class SettopKernel:
         self.app_manager = AppManager(self, am_proc, self.boot_params)
         am_proc.create_task(self.app_manager.run(), name="appmgr-main").detach()
 
-    async def _report_boot(self, runtime: OCSRuntime) -> None:
+    def _names(self, runtime: OCSRuntime):
+        """A NameClient sharing the settop's binding cache (PR 5)."""
+        from repro.core.naming.cache import cache_for
         from repro.core.naming.client import NameClient
-        names = NameClient(runtime, self.boot_params.get("ns_ips", self.boot_params["ns_ip"]), self.params)
+        return NameClient(runtime,
+                          self.boot_params.get("ns_ips", self.boot_params["ns_ip"]),
+                          self.params, cache=cache_for(self.host, self.params))
+
+    async def _report_boot(self, runtime: OCSRuntime) -> None:
+        names = self._names(runtime)
         while self.state == "booted":
+            mgr = None
             try:
                 mgr = await names.resolve("svc/settopmgr")
                 await runtime.invoke(mgr, "reportBoot", (self.host.ip,),
@@ -143,11 +151,15 @@ class SettopKernel:
                 self._mgr_ref = mgr
                 return
             except Exception:  # noqa: BLE001 - cluster may still be starting
+                # The resolve may have come out of the binding cache; a
+                # failed use must report it bad or the retry loop would
+                # be handed the same dead ref forever.
+                if mgr is not None:
+                    names.invalidate("svc/settopmgr", mgr)
                 await self.kernel.sleep(2.0)
 
     async def _heartbeat_loop(self, runtime: OCSRuntime) -> None:
-        from repro.core.naming.client import NameClient
-        names = NameClient(runtime, self.boot_params.get("ns_ips", self.boot_params["ns_ip"]), self.params)
+        names = self._names(runtime)
         mgr = getattr(self, "_mgr_ref", None)
         while True:
             await self.kernel.sleep(self.params.settop_heartbeat)
@@ -160,6 +172,10 @@ class SettopKernel:
                 await runtime.invoke(mgr, "heartbeat", (self.host.ip,),
                                      timeout=self.params.call_timeout)
             except ServiceUnavailable:
+                # Coherence by exception: drop the settop's cached
+                # binding so the re-resolve above reaches the name
+                # service instead of replaying the cache.
+                names.invalidate("svc/settopmgr", mgr)
                 mgr = None
 
     def _emit(self, event: str, **fields) -> None:

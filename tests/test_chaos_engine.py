@@ -21,21 +21,18 @@ from repro.chaos import (
     generate_schedule,
     minimize_schedule,
     run_schedule,
-    run_seed,
     write_minimal,
 )
 from repro.chaos.faults import parse_target
 from repro.sim.rand import SeededRandom
 from tests.fixtures.sabotage import SPLIT_BRAIN_SCHEDULE, broken_quorum
-
-GREEN_SEED = 1
-GREEN_KWARGS = dict(n_faults=5, horizon=120.0, settops=2)
+from tests.helpers import green_chaos_runs
 
 
 @pytest.fixture(scope="module")
 def green_runs():
     """The same seed run twice -- the determinism acceptance criterion."""
-    return [run_seed(GREEN_SEED, **GREEN_KWARGS) for _ in range(2)]
+    return green_chaos_runs(runs=2)
 
 
 @pytest.fixture(scope="module")

@@ -24,14 +24,22 @@ from repro.analysis.determinism import reference_scenario_trace
 # instead of retrying for a minute.  All are deliberate behaviour
 # changes, not scheduler regressions.  These digests pin the new event
 # order against drift.
+#
+# Re-recorded for PR 5 (population scale): the SSC now owns the load
+# reporting loop -- it coalesces every local gate's gauges and pushes
+# ONE reportLoadBatch per target per load_report_interval, emitting an
+# ``ssc load_report`` trace event per push.  The diff against the PR 4
+# goldens is exactly +75 ``ssc.load_report`` lines per scenario (all
+# other event kinds and counts unchanged; timestamps shift with the
+# new wire traffic).  Deliberate message-count change, not drift.
 GOLDEN = {
     # (seed, settops, duration): (n_lines, sha256)
     (3, 2, 60.0): (
-        283,
-        "c13e4d8481cf47906fd8ba257d22d8b701658f8baca550d52c70345bacc86b2a"),
+        358,
+        "a6ad74f96e65dc800e1610ac33b775dd7d2105dbff1049caa4b3812c0defb34c"),
     (7, 2, 60.0): (
-        305,
-        "d1c3d249c4dfba868a9e1f48d0b17302ce326c75cc4639dd5ac77c11963241e5"),
+        380,
+        "fa543033e982b85ac15148f2e1c69d12a2dc68dd51013e6450cf0ea250fed292"),
 }
 
 

@@ -19,58 +19,21 @@ from repro.core.backoff import Backoff
 from repro.core.naming.errors import NamingError
 from repro.core.params import Params
 from repro.core.rebind import RebindError, RebindingProxy
-from repro.idl import register_interface
 from repro.metrics.overload import collect_overload, total_sheds
-from repro.net import Network, server_ip
-from repro.ocs import (
-    AdmissionGate,
-    CallTimeout,
-    DeadlineExceeded,
-    OCSRuntime,
-    Overloaded,
+from repro.ocs import CallTimeout, DeadlineExceeded, Overloaded
+from repro.sim import SeededRandom
+from tests.helpers import (
+    StubNames,
+    client_runtime,
+    small_gate,
+    small_world,
+    start_echo,
 )
-from repro.sim import Host, Kernel, SeededRandom
-
-register_interface("OverloadEcho", {
-    "echo": ("value",),
-    "slow": ("duration",),
-}, doc="toy interface for overload tests")
-
-
-class _EchoServant:
-    def __init__(self, kernel):
-        self.kernel = kernel
-
-    async def echo(self, ctx, value):
-        return value
-
-    async def slow(self, ctx, duration):
-        await self.kernel.sleep(duration)
-        return "done"
 
 
 @pytest.fixture
 def world():
-    kernel = Kernel()
-    net = Network(kernel)
-    hosts = []
-    for i in range(2):
-        host = Host(kernel, f"server-{i}")
-        net.attach(host, server_ip(i))
-        hosts.append(host)
-    return kernel, net, hosts
-
-
-def start_echo(kernel, net, host, name="echo-svc"):
-    proc = host.spawn(name)
-    runtime = OCSRuntime(proc, net)
-    ref = runtime.export(_EchoServant(kernel), "OverloadEcho")
-    return runtime, ref
-
-
-def client_runtime(net, host, name="client"):
-    proc = host.spawn(name)
-    return OCSRuntime(proc, net)
+    return small_world(n_hosts=2)
 
 
 # ---------------------------------------------------------------------------
@@ -115,12 +78,6 @@ class TestBackoffBudget:
 # ---------------------------------------------------------------------------
 # Admission gate (unit)
 # ---------------------------------------------------------------------------
-
-
-def small_gate(max_inflight=2, max_queue=3):
-    params = Params().with_overrides(admission_max_inflight=max_inflight,
-                                     admission_max_queue=max_queue)
-    return AdmissionGate("toy", params)
 
 
 class TestAdmissionGate:
@@ -335,21 +292,6 @@ class TestLoadAwareSelector:
 # ---------------------------------------------------------------------------
 
 
-class _StubNames:
-    """Deterministic resolve results for proxy tests."""
-
-    def __init__(self, refs):
-        self._refs = list(refs)
-
-    async def resolve(self, name):
-        ref = self._refs[0]
-        if len(self._refs) > 1:
-            self._refs.pop(0)
-        if isinstance(ref, Exception):
-            raise ref
-        return ref
-
-
 class TestRebindCooldown:
     def test_shed_replica_cooled_and_retry_steered(self, world):
         kernel, net, hosts = world
@@ -358,7 +300,7 @@ class TestRebindCooldown:
         _, ref_b = start_echo(kernel, net, hosts[1], "echo-b")
         client = client_runtime(net, hosts[0])
         params = Params()
-        proxy = RebindingProxy(client, _StubNames([ref_a, ref_b]),
+        proxy = RebindingProxy(client, StubNames([ref_a, ref_b]),
                                "svc/echo", params=params,
                                rng=SeededRandom(5), give_up_after=30.0)
 
@@ -372,7 +314,7 @@ class TestRebindCooldown:
         shedding, ref_a = start_echo(kernel, net, hosts[0], "echo-a")
         shedding.admission = small_gate(max_inflight=0, max_queue=1)
         client = client_runtime(net, hosts[1])
-        proxy = RebindingProxy(client, _StubNames([ref_a]), "svc/echo",
+        proxy = RebindingProxy(client, StubNames([ref_a]), "svc/echo",
                                params=Params(), rng=SeededRandom(5),
                                give_up_after=30.0)
 
@@ -388,7 +330,7 @@ class TestRebindCooldown:
         shedding, ref_a = start_echo(kernel, net, hosts[0], "echo-a")
         shedding.admission = small_gate(max_inflight=0, max_queue=1)
         client = client_runtime(net, hosts[1])
-        proxy = RebindingProxy(client, _StubNames([ref_a]), "svc/echo",
+        proxy = RebindingProxy(client, StubNames([ref_a]), "svc/echo",
                                params=Params(), rng=SeededRandom(5),
                                give_up_after=30.0)
         with pytest.raises(Overloaded):
@@ -401,7 +343,7 @@ class TestRebindCooldown:
         kernel, net, hosts = world
         client = client_runtime(net, hosts[1])
         proxy = RebindingProxy(client,
-                               _StubNames([NamingError("not bound")]),
+                               StubNames([NamingError("not bound")]),
                                "svc/gone", params=Params(),
                                rng=SeededRandom(5), give_up_after=60.0)
 
@@ -414,7 +356,7 @@ class TestRebindCooldown:
         kernel, net, hosts = world
         client = client_runtime(net, hosts[1])
         proxy = RebindingProxy(client,
-                               _StubNames([NamingError("not bound")]),
+                               StubNames([NamingError("not bound")]),
                                "svc/gone", params=Params(),
                                rng=SeededRandom(5), give_up_after=2.0)
         with pytest.raises(RebindError):
@@ -436,17 +378,12 @@ def surge_run():
     """
     from repro.chaos.faults import Fault
     from repro.chaos.injector import FaultInjector
-    from repro.cluster.builder import build_full_cluster, fresh_run_state
-    from repro.workloads.sessions import run_viewers
+    from tests.helpers import booted_cluster, viewer_evening
 
-    fresh_run_state()
     params = Params().with_overrides(admission_max_inflight=4,
                                      admission_max_queue=8)
-    cluster = build_full_cluster(n_servers=2, seed=41, params=params)
-    kernels = [cluster.add_settop_kernel(
-        cluster.neighborhoods[i % len(cluster.neighborhoods)])
-        for i in range(5)]
-    assert cluster.boot_settops(kernels, timeout=300.0)
+    cluster, kernels = booted_cluster(n_servers=2, seed=41, params=params,
+                                      settops=5, fresh=True)
 
     injector = FaultInjector(cluster, SeededRandom(41).stream("inj"))
     plan = [
@@ -460,7 +397,7 @@ def surge_run():
     for delay, fault in plan:
         cluster.kernel.call_later(delay, injector.inject, fault)
 
-    stats = run_viewers(cluster, kernels, 150.0, seed=7)
+    stats = viewer_evening(cluster, kernels, 150.0, seed=7)
     injector.heal_all()
     overload = collect_overload(cluster, kernels)
     return params, stats, overload

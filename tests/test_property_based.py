@@ -209,3 +209,117 @@ class TestMarshalProperties:
         size = estimated_size(value)
         assert size >= 1
         assert estimated_size([value]) > size
+
+
+class TestBindingCacheProperties:
+    """PR 5: the binding cache is coherent *by exception* -- it may hand
+    out a stale reference, but using one against a restarted exporter
+    must raise StaleReference (never silently hit the wrong incarnation,
+    never error against the live one)."""
+
+    # derandomize: each example spawns hosts/processes, advancing the
+    # process-global pid/port allocators.  A randomized example count
+    # would leave those counters at a different value every run, and
+    # every cluster test that follows would see shifted absolute
+    # pids/ports -- the whole suite must stay run-to-run deterministic.
+    @given(st.lists(st.sampled_from(["use", "restart", "invalidate"]),
+                    min_size=1, max_size=12))
+    @settings(max_examples=25, deadline=None, derandomize=True,
+              database=None)
+    def test_stale_hits_always_raise_stale_reference(self, ops):
+        from repro.core.naming.cache import BindingCache
+        from repro.ocs import OCSRuntime, StaleReference
+        from tests.helpers import EchoServant, small_world
+
+        kernel, net, hosts = small_world(n_hosts=2)
+        server_host, client_host = hosts
+        live = {}
+
+        def start_server():
+            proc = server_host.spawn("echo")
+            runtime = OCSRuntime(proc, net, port=7001)
+            live["proc"] = proc
+            live["ref"] = runtime.export(EchoServant(kernel), "OverloadEcho")
+
+        start_server()
+        client = OCSRuntime(client_host.spawn("client"), net)
+        cache = BindingCache.for_host(client_host)
+
+        async def resolver(name):
+            return live["ref"]
+
+        async def use():
+            ref = await cache.resolve("svc/echo", resolver)
+            try:
+                result = await client.invoke(ref, "echo", ("x",),
+                                             timeout=3.0)
+            except StaleReference:
+                # Legal only when the exporter really did restart ...
+                assert ref.incarnation != live["proc"].incarnation
+                # ... and the coherence protocol repairs the cache.
+                cache.invalidate("svc/echo", ref)
+                return
+            # A silent success must have gone to the live incarnation.
+            assert result == "x"
+            assert ref.incarnation == live["proc"].incarnation
+
+        for op in ops:
+            if op == "use":
+                kernel.run_until_complete(use())
+            elif op == "restart":
+                live["proc"].kill()
+                start_server()
+            else:
+                cache.invalidate("svc/echo")
+        # After one repair round the cache always converges on the live
+        # exporter: use() either hits live or invalidates, so the second
+        # use() must succeed.
+        kernel.run_until_complete(use())
+        kernel.run_until_complete(use())
+        assert [entry.ref.incarnation for _name, entry in cache.entries()] \
+            == [live["proc"].incarnation]
+
+
+class TestAdmissionGateProperties:
+    """PR 5: the outstanding-work bound under arbitrary legal traffic."""
+
+    @given(st.lists(st.sampled_from(["admit", "begin", "done", "drop"]),
+                    min_size=1, max_size=200))
+    @settings(max_examples=80, deadline=None, derandomize=True,
+              database=None)
+    def test_outstanding_work_never_exceeds_bound(self, ops):
+        from tests.helpers import small_gate
+        gate = small_gate(max_inflight=3, max_queue=5)
+        bound = gate.max_inflight + gate.max_queue
+        queued = inflight = shed = 0
+        for op in ops:
+            if op == "admit":
+                if gate.try_admit():
+                    queued += 1
+                else:
+                    shed += 1
+            elif op == "begin" and queued > 0:
+                gate.begin()
+                queued -= 1
+                inflight += 1
+            elif op == "done" and inflight > 0:
+                gate.done()
+                inflight -= 1
+            elif op == "drop" and queued > 0:
+                gate.drop_queued()
+                queued -= 1
+            # The gate's books match the model exactly ...
+            assert gate.queued == queued
+            assert gate.inflight == inflight
+            assert gate.shed_count == shed
+            # ... and the paper-facing invariants hold at every step.
+            assert queued + inflight <= bound
+            assert gate.queued <= gate.max_queue
+            assert gate.peak_queue <= gate.max_queue
+            assert gate.load() >= 0.0
+            gauges = gate.gauges()
+            assert gauges["inflight"] == inflight
+            assert gauges["queue_depth"] == queued
+        # Everything offered was either admitted or shed -- no losses.
+        assert gate.admitted + gate.shed_count == \
+            sum(1 for op in ops if op == "admit")
