@@ -1,10 +1,15 @@
 """Static analysis for the reproduction's determinism invariants.
 
-``repro lint`` front-end:  an AST linter with repo-specific rules
-(D001..D008, see :mod:`repro.analysis.rules`) plus a runtime
-double-run trace diff (:mod:`repro.analysis.determinism`).  The rules
-exist to keep one promise enforceable forever: two runs with the same
-seed produce byte-identical traces.
+``repro lint`` front-end: an AST linter with repo-specific rules --
+determinism/layering (D001..D010, :mod:`repro.analysis.rules`),
+protocol conformance against the registered IDL
+(P001..P005, :mod:`repro.analysis.protocol`), and suppression hygiene
+(W001) -- plus two runtime checkers: a double-run trace diff
+(:mod:`repro.analysis.determinism`) and a vector-clock happens-before
+race detector over instrumented traces (:mod:`repro.analysis.hb`,
+``repro analyze-trace``).  Together they keep two promises enforceable
+forever: two runs with the same seed produce byte-identical traces, and
+every RPC call site agrees with the interface it is calling.
 """
 
 from repro.analysis.determinism import double_run_diff, reference_scenario_trace
@@ -17,18 +22,50 @@ from repro.analysis.engine import (
     lint_paths,
     lint_source,
 )
+from repro.analysis.hb import (
+    HbRace,
+    HbReport,
+    HbWrite,
+    analyze_events,
+    analyze_trace,
+    conformance_diff,
+    hb_events_from_trace,
+    write_order_digests,
+)
+from repro.analysis.protocol import (
+    ProtocolModel,
+    SiteCoverage,
+    default_model,
+    extract_protocol,
+    protocol_rules,
+    scan_sites,
+)
 from repro.analysis.rules import default_rules, rules_by_id
 
 __all__ = [
     "FileContext",
+    "HbRace",
+    "HbReport",
+    "HbWrite",
     "LintReport",
+    "ProtocolModel",
     "Rule",
+    "SiteCoverage",
     "Violation",
+    "analyze_events",
+    "analyze_trace",
     "collect_files",
+    "conformance_diff",
+    "default_model",
     "default_rules",
     "double_run_diff",
+    "extract_protocol",
+    "hb_events_from_trace",
     "lint_paths",
     "lint_source",
+    "protocol_rules",
     "reference_scenario_trace",
     "rules_by_id",
+    "scan_sites",
+    "write_order_digests",
 ]

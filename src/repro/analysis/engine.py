@@ -15,8 +15,11 @@ Suppressions: a violation is ignored when its source line carries
 from __future__ import annotations
 
 import ast
+import io
+import json
 import os
 import re
+import tokenize
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -90,10 +93,34 @@ def suppressed_codes(line: str) -> Optional[List[str]]:
     return [c.strip() for c in codes.split(",")]
 
 
-def _is_suppressed(violation: Violation, lines: Sequence[str]) -> bool:
-    if not 1 <= violation.line <= len(lines):
+def _comment_map(source: str, lines: Sequence[str]) -> Dict[int, Tuple[int, str]]:
+    """Map line number -> (column, comment text) for real ``#`` comments.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps noqa
+    detection from matching ``# repro: noqa`` examples that live inside
+    string literals and docstrings -- those are prose, not suppressions.
+    Falls back to raw lines when tokenization fails (the caller already
+    parsed the source, so this is belt and braces).
+    """
+    out: Dict[int, Tuple[int, str]] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out[tok.start[0]] = (tok.start[1], tok.string)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for i, line in enumerate(lines, start=1):
+            idx = line.find("#")
+            if idx >= 0:
+                out[i] = (idx, line[idx:])
+    return out
+
+
+def _is_suppressed(violation: Violation,
+                   comments: Dict[int, Tuple[int, str]]) -> bool:
+    entry = comments.get(violation.line)
+    if entry is None:
         return False
-    codes = suppressed_codes(lines[violation.line - 1])
+    codes = suppressed_codes(entry[1])
     if codes is None:
         return False
     return not codes or violation.rule in codes
@@ -150,8 +177,39 @@ def lint_source(source: str, path: str, rules: Sequence[Rule],
     found: List[Violation] = []
     for rule in rules:
         found.extend(rule.check(tree, ctx))
-    found.sort(key=lambda v: (v.line, v.col, v.rule))
-    return [v for v in found if not _is_suppressed(v, ctx.lines)]
+    comments = _comment_map(source, ctx.lines)
+    survivors = [v for v in found if not _is_suppressed(v, comments)]
+    if any(rule.rule_id == "W001" for rule in rules):
+        survivors.extend(_stale_suppressions(ctx, found, comments))
+    survivors.sort(key=lambda v: (v.line, v.col, v.rule))
+    return survivors
+
+
+def _stale_suppressions(ctx: FileContext, found: Sequence[Violation],
+                        comments: Dict[int, Tuple[int, str]]) -> List[Violation]:
+    """W001: a ``# repro: noqa`` comment that masks no violation is stale.
+
+    Stale suppressions are dead weight that silently disables future
+    rules on the line, so they are flagged rather than honored -- which
+    also means W001 itself cannot be noqa'd away: the fix is deleting
+    (or narrowing) the comment.
+    """
+    out = []
+    for line, (col, text) in sorted(comments.items()):
+        codes = suppressed_codes(text)
+        if codes is None:
+            continue
+        masked = [v for v in found if v.line == line
+                  and (not codes or v.rule in codes)]
+        if masked:
+            continue
+        what = "blanket `# repro: noqa`" if not codes else \
+            f"`# repro: noqa {', '.join(codes)}`"
+        out.append(Violation(
+            rule="W001", path=ctx.path, line=line, col=col + 1,
+            message=f"stale suppression: {what} masks no violation on "
+                    "this line; delete it (or name the rule it is for)"))
+    return out
 
 
 @dataclass
@@ -160,6 +218,9 @@ class LintReport:
 
     violations: List[Violation]
     files_checked: int
+    #: call-site census from the protocol checker (None when the rule
+    #: set carried no P-rules); see repro.analysis.protocol.SiteCoverage.
+    protocol: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -170,6 +231,28 @@ class LintReport:
         lines.append(f"{len(self.violations)} violation(s) in "
                      f"{self.files_checked} file(s) checked")
         return lines
+
+    def github_lines(self) -> List[str]:
+        """GitHub Actions workflow commands: one ``::error`` per hit.
+
+        The runner turns these into PR line annotations; the matching
+        problem-matcher (``.github/repro-lint-problem-matcher.json``)
+        covers the plain-text format for tools that capture stdout.
+        """
+        return [f"::error file={v.path},line={v.line},col={v.col},"
+                f"title={v.rule}::{v.message}" for v in self.violations]
+
+    def to_json(self) -> str:
+        doc: Dict[str, object] = {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "violations": [{"rule": v.rule, "path": v.path, "line": v.line,
+                            "col": v.col, "message": v.message}
+                           for v in self.violations],
+        }
+        if self.protocol is not None:
+            doc["protocol_coverage"] = self.protocol.to_dict()
+        return json.dumps(doc, indent=2, sort_keys=True)
 
     def stats_lines(self) -> List[str]:
         """Violations grouped by rule and by file (``--stats`` output)."""
@@ -188,6 +271,8 @@ class LintReport:
             lines.append(f"  {path}: {by_file[path]}")
         if not by_file:
             lines.append("  (none)")
+        if self.protocol is not None:
+            lines.extend(self.protocol.stats_lines())
         lines.append(f"total: {len(self.violations)} violation(s) in "
                      f"{self.files_checked} file(s)")
         return lines
@@ -205,4 +290,10 @@ def lint_paths(paths: Sequence[str],
         with open(path, "r", encoding="utf-8") as fh:
             source = fh.read()
         violations.extend(lint_source(source, path, rules))
-    return LintReport(violations=violations, files_checked=len(files))
+    coverage = None
+    for rule in rules:
+        coverage = getattr(rule, "coverage", None)
+        if coverage is not None:
+            break
+    return LintReport(violations=violations, files_checked=len(files),
+                      protocol=coverage)

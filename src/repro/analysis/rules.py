@@ -422,12 +422,33 @@ class DeadlineRule(Rule):
         return out
 
 
+class StaleSuppressionRule(Rule):
+    """W001 -- enforced by the engine, declared here for the catalog.
+
+    The engine (``lint_source``) flags every ``# repro: noqa`` comment
+    that masks no violation on its line whenever this rule is in the
+    active set; the check needs the full pre-suppression violation list,
+    which individual rules never see, so :meth:`check` itself is empty.
+    """
+
+    rule_id = "W001"
+    title = "no stale `# repro: noqa` suppressions"
+    rationale = ("A noqa that suppresses nothing is dead weight that "
+                 "silently disables future rules on its line; delete it "
+                 "or name the rule it is for.")
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterable[Violation]:
+        return []  # engine-driven; see repro.analysis.engine._stale_suppressions
+
+
 def default_rules() -> List[Rule]:
-    """The rule set `repro lint` runs, in id order."""
+    """The rule set `repro lint` runs: determinism (D), protocol
+    conformance (P), and suppression hygiene (W), in id order."""
+    from repro.analysis.protocol import protocol_rules
     return [RandomModuleRule(), WallClockRule(), UnorderedIterationRule(),
             HashSeedRule(), ExceptionSwallowRule(), LayeringRule(),
             PrintRule(), FutureLeakRule(), RawFaultSurfaceRule(),
-            DeadlineRule()]
+            DeadlineRule()] + protocol_rules() + [StaleSuppressionRule()]
 
 
 def rules_by_id() -> Dict[str, Rule]:

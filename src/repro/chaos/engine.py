@@ -53,6 +53,12 @@ class ChaosResult:
     # fallbacks did (see repro.metrics.overload.collect_overload).
     overload: Dict[str, dict] = field(default_factory=dict)
     degraded_ops: int = 0
+    # PR 6: happens-before summary (race count, write-order digests) when
+    # the run was built with Params.hb_trace; None otherwise.  hb_events
+    # is the raw event stream the verdict came from -- kept out of
+    # to_dict() (it can be large), exposed for `repro analyze-trace`.
+    hb: Optional[dict] = None
+    hb_events: Optional[list] = None
 
     @property
     def ok(self) -> bool:
@@ -74,6 +80,7 @@ class ChaosResult:
             "availability": self.availability,
             "overload": self.overload,
             "degraded_ops": self.degraded_ops,
+            "hb": self.hb,
             "schedule": self.schedule.to_dict(),
         }
 
@@ -134,9 +141,22 @@ def run_schedule(schedule: FaultSchedule, seed: int, n_servers: int = 3,
     bus.finish()
 
     settop_monitor = None
+    hb_summary = None
+    hb_events = None
     for monitor in bus.monitors:
         if monitor.name == "settop_service":
             settop_monitor = monitor
+        report = getattr(monitor, "report", None)
+        if monitor.name == "hb_race" and report is not None:
+            from repro.analysis.hb import (hb_events_from_trace,
+                                           write_order_digests)
+            hb_summary = {
+                "races": len(report.races),
+                "events": report.events,
+                "writes": report.write_count(),
+                "digests": write_order_digests(report),
+            }
+            hb_events = hb_events_from_trace(cluster.trace.events)
     return ChaosResult(
         seed=seed,
         schedule=schedule,
@@ -151,6 +171,8 @@ def run_schedule(schedule: FaultSchedule, seed: int, n_servers: int = 3,
         procs_killed=len(injector.killed),
         overload=collect_overload(cluster, kernels),
         degraded_ops=sum(s.stats.degraded for s in sessions),
+        hb=hb_summary,
+        hb_events=hb_events,
     )
 
 

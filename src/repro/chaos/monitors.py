@@ -595,6 +595,36 @@ class QueueBoundMonitor(Monitor):
         return out
 
 
+class HbRaceMonitor(Monitor):
+    """Unordered conflicting writes to shared state (repro.analysis.hb).
+
+    Only active when the run was built with ``Params.hb_trace``: the
+    cluster then streams ``hb.*`` events (message edges + shared-state
+    writes) into the trace, and the final sweep replays them through the
+    vector-clock analyzer.  A race -- two writes to the same logical
+    variable with different versions and no happens-before path between
+    their actors -- is split-brain made visible *even when the damage
+    healed* before the structural monitors could see it.
+    """
+
+    name = "hb_race"
+    MAX_REPORTED = 5
+
+    def finish(self) -> List[Violation]:
+        if self.cluster.kernel.hb_log is None:
+            return []
+        from repro.analysis.hb import analyze_trace
+        report = analyze_trace(self.cluster.trace.events)
+        self.report = report  # exposed for ChaosResult / CLI summaries
+        out = [self._violation(f"unordered conflicting writes: {race.describe()}")
+               for race in report.races[:self.MAX_REPORTED]]
+        if len(report.races) > self.MAX_REPORTED:
+            out.append(self._violation(
+                f"... and {len(report.races) - self.MAX_REPORTED} more "
+                f"hb race(s) suppressed"))
+        return out
+
+
 def _live_runtimes(cluster: Cluster):
     """Every live server-side OCS runtime (the monitors' probe surface)."""
     for host in cluster.servers:
@@ -620,7 +650,8 @@ def default_monitors() -> List[Monitor]:
     return [CscPrimaryMonitor(), NsAgreementMonitor(),
             AuditConvergenceMonitor(), CacheCoherenceMonitor(),
             SettopServiceMonitor(), FutureLeakMonitor(),
-            ExpiredWorkMonitor(), QueueBoundMonitor()]
+            ExpiredWorkMonitor(), QueueBoundMonitor(),
+            HbRaceMonitor()]
 
 
 class MonitorBus:

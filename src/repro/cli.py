@@ -76,12 +76,22 @@ def _cmd_lint(args) -> int:
               file=sys.stderr)
         return 2
     report = lint_paths(args.paths)
-    if args.stats:
+    if args.format == "json":
+        print(report.to_json())
+    elif args.format == "github":
+        # GitHub Actions workflow commands (::error file=...), matched by
+        # .github/repro-lint-problem-matcher.json for plain-text logs.
+        for line in report.github_lines():
+            print(line)
+    elif args.stats:
         for line in report.stats_lines():
             print(line)
     else:
         for line in report.format_lines():
             print(line)
+    if args.stats and args.format != "text":
+        for line in report.stats_lines():
+            print(line, file=sys.stderr)
     return 0 if report.ok else 1
 
 
@@ -106,6 +116,48 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_analyze_trace(args) -> int:
+    """Happens-before race analysis: from a saved JSONL or a fresh run."""
+    from repro.analysis.hb import (analyze_events, dump_jsonl, load_jsonl,
+                                   write_order_digests)
+
+    if args.trace:
+        with open(args.trace) as fh:
+            events = load_jsonl(fh)
+        source = args.trace
+    else:
+        from repro.chaos import FaultSchedule, run_seed
+        from repro.core.params import Params
+        schedule = (FaultSchedule.load(args.schedule) if args.schedule
+                    else None)
+        result = run_seed(args.seed, n_faults=args.faults,
+                          horizon=args.horizon, settops=args.settops,
+                          params=Params(hb_trace=True), schedule=schedule)
+        for violation in result.violations:
+            if violation.monitor != "hb_race":
+                print(f"[{violation.monitor}] t={violation.time:.1f} "
+                      f"{violation.detail}", file=sys.stderr)
+        if result.hb_events is None:
+            print("run produced no hb events (hb_trace wiring broken?)",
+                  file=sys.stderr)
+            return 2
+        events = result.hb_events
+        source = (f"seed {args.seed}, {len(result.schedule)} fault(s), "
+                  f"horizon {result.schedule.horizon:.0f}s")
+
+    report = analyze_events(events)
+    print(f"== hb analysis: {source} ==")
+    for line in report.format_lines():
+        print(f"  {line}")
+    for var, digest in sorted(write_order_digests(report).items()):
+        print(f"  order {var}: {digest[:16]}")
+    if args.dump:
+        with open(args.dump, "w") as fh:
+            dump_jsonl(events, fh)
+        print(f"wrote {len(events)} hb event(s) to {args.dump}")
+    return 1 if report.races else 0
+
+
 def _cmd_chaos(args) -> int:
     from repro.chaos import (FaultSchedule, minimize_schedule, run_seed,
                              write_minimal)
@@ -116,12 +168,17 @@ def _cmd_chaos(args) -> int:
         schedule = FaultSchedule.load(args.schedule)
         print(f"loaded schedule {args.schedule}: {len(schedule)} fault(s), "
               f"horizon {schedule.horizon}s")
+    params = None
+    if args.hb:
+        from repro.core.params import Params
+        params = Params(hb_trace=True)
     seeds = list(range(args.seed_base, args.seed_base + args.seeds))
     failures = 0
     for seed in seeds:
         runs = 2 if args.double_run else 1
         results = [run_seed(seed, n_faults=args.faults, horizon=args.horizon,
-                            settops=args.settops, schedule=schedule)
+                            settops=args.settops, schedule=schedule,
+                            params=params)
                    for _ in range(runs)]
         result = results[0]
         status = "ok" if result.ok else "FAIL"
@@ -139,6 +196,9 @@ def _cmd_chaos(args) -> int:
                   f"deadline_rejects={deadlines.get('rejected', 0)} "
                   f"expired={deadlines.get('expired_executions', 0)}"
                   + (f"  [{gates}]" if gates else ""))
+        if result.hb is not None:
+            print(f"  hb: events={result.hb['events']} "
+                  f"writes={result.hb['writes']} races={result.hb['races']}")
         if args.double_run:
             if results[1].digest != result.digest:
                 print(f"  DETERMINISM VIOLATION: re-run digest "
@@ -243,11 +303,17 @@ def build_parser() -> argparse.ArgumentParser:
     inventory.set_defaults(fn=_cmd_inventory)
 
     lint = sub.add_parser(
-        "lint", help="determinism & distributed-invariant linter (D001-D009)")
+        "lint", help="determinism, layering & protocol-conformance linter "
+                     "(D001-D010, P001-P005, W001)")
     lint.add_argument("paths", nargs="*", default=["src/repro"],
                       help="files or directories to lint (default src/repro)")
     lint.add_argument("--stats", action="store_true",
-                      help="summarize violations by rule and by file")
+                      help="summarize violations by rule and by file "
+                           "(plus protocol call-site coverage)")
+    lint.add_argument("--format", choices=["text", "json", "github"],
+                      default="text",
+                      help="output format: human text, a JSON report, or "
+                           "GitHub Actions ::error annotations")
     lint.set_defaults(fn=_cmd_lint)
 
     bench = sub.add_parser(
@@ -280,7 +346,32 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--double-run", action="store_true",
                        help="run each seed twice and require identical "
                             "trace digests")
+    chaos.add_argument("--hb", action="store_true",
+                       help="instrument the run with happens-before events "
+                            "and arm the hb_race monitor (Params.hb_trace)")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    analyze = sub.add_parser(
+        "analyze-trace",
+        help="vector-clock happens-before race analysis of an hb-"
+             "instrumented run (repro.analysis.hb)")
+    analyze.add_argument("--seed", type=int, default=0,
+                         help="chaos seed to run instrumented (default 0)")
+    analyze.add_argument("--faults", type=int, default=8,
+                         help="faults in the generated schedule (default 8)")
+    analyze.add_argument("--horizon", type=float, default=240.0,
+                         help="seconds of fault injection (default 240)")
+    analyze.add_argument("--settops", type=int, default=4,
+                         help="settops under viewer load (default 4)")
+    analyze.add_argument("--schedule", default="",
+                         help="replay a schedule JSON instead of generating")
+    analyze.add_argument("--trace", default="",
+                         help="analyze a saved hb-event JSONL instead of "
+                              "running a cluster")
+    analyze.add_argument("--dump", default="",
+                         help="write the run's hb events to this JSONL for "
+                              "later --trace analysis")
+    analyze.set_defaults(fn=_cmd_analyze_trace)
 
     population = sub.add_parser(
         "population", help="population-scale settop workload (E15: binding "

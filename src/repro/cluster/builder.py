@@ -62,6 +62,11 @@ class Cluster:
         self.params = params or Params()
         self.rng = SeededRandom(seed)
         self.trace = TraceLog(self.kernel)
+        if self.params.hb_trace:
+            # Route happens-before events into the run's own trace; every
+            # emission site guards on ``kernel.hb_log is not None``, so
+            # runs without the flag stay byte-identical to the goldens.
+            self.kernel.hb_log = self.trace
         self.net = Network(self.kernel)
         self.registry = ServiceRegistry()
         self.base_services = list(base_services or BASE_SERVICES)

@@ -55,8 +55,9 @@ class BindingCache:
     not keep *serving* a dead binding past the audit bound.
     """
 
-    def __init__(self, kernel: Kernel):
+    def __init__(self, kernel: Kernel, owner: str = "?"):
         self.kernel = kernel
+        self.owner = owner  # host ip; names the hb pseudo-actor
         self._entries: Dict[str, CacheEntry] = {}
         # name -> FIFO list of waiter futures behind the in-flight
         # leader resolve for that name.
@@ -73,9 +74,18 @@ class BindingCache:
         """The shared cache for ``host``, created on first use."""
         cache = getattr(host, "binding_cache", None)
         if cache is None:
-            cache = cls(host.kernel)
+            cache = cls(host.kernel, owner=host.ip)
             host.binding_cache = cache
         return cache
+
+    def _hb_write(self, name: str, ver: str) -> None:
+        # Cache state is host-private: writes land on a per-host
+        # pseudo-actor so the write-order oracle sees install/invalidate
+        # chains without manufacturing cross-host race pairs.
+        hb = self.kernel.hb_log
+        if hb is not None:
+            hb.emit("hb", "write", actor=f"{self.owner}/cache",
+                    var=f"cache:{self.owner}:{name}", ver=ver)
 
     # -- resolution -----------------------------------------------------
 
@@ -115,6 +125,7 @@ class BindingCache:
         # entry cannot happen: entries are keyed by name and the leader
         # installs before any waiter observes the result.
         self._entries[name] = CacheEntry(ref, self.kernel.now)
+        self._hb_write(name, repr(ref))
         for fut in self._inflight.pop(name):
             if not fut.done():
                 fut.set_result(ref)
@@ -136,6 +147,7 @@ class BindingCache:
             return False
         del self._entries[name]
         self.invalidations += 1
+        self._hb_write(name, "<invalidated>")
         return True
 
     def clear(self) -> None:

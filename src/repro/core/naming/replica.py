@@ -350,6 +350,15 @@ class NameReplicaProcess:
         self.updates_applied += 1
         self._sync_context_exports()
         self._emit("update", seq=seq, op=op[0], path=op[1])
+        # The master is the decision point for this name-space mutation;
+        # replica ingests are fan-out copies of the same decision and do
+        # not emit.  Two masters deciding *conflicting* updates without a
+        # happens-before path between them is the split-brain write the
+        # hb race detector exists to flag.  The version is the op content
+        # alone -- not the seq -- because two masters independently
+        # applying the identical repair (e.g. both audit-unbind the same
+        # dead binding across an election) converge and are not a race.
+        self.runtime.hb_write(f"ns:{op[1]}", ver=repr(op))
         for peer in self.replica_ips:
             if peer != self.ip:
                 # Best-effort push; the audit loop repairs missed peers.

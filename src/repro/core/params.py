@@ -89,6 +89,13 @@ class Params:
     # not stare at a frozen screen while a proxy retries for a minute.
     interactive_deadline: float = 8.0
 
+    # -- happens-before instrumentation (repro.analysis.hb) ---------------
+    # Emit ``hb.*`` trace events (message send/recv edges, shared-state
+    # writes) so the vector-clock race detector can audit the run.  Off
+    # by default: the emissions add trace lines, so golden-digest runs
+    # must not see them.
+    hb_trace: bool = False
+
     # -- chaos engine (repro.chaos) ---------------------------------------
     chaos_monitor_interval: float = 5.0    # invariant-monitor probe cadence
     chaos_audit_slack: float = 45.0        # grace beyond the audit polls

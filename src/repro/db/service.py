@@ -19,7 +19,7 @@ from typing import Any, Dict
 from repro.core.naming.errors import NamingError
 from repro.core.replication import PrimaryBackupBinder
 from repro.idl import register_exception, register_interface
-from repro.ocs.exceptions import ServiceUnavailable
+from repro.ocs.exceptions import DeadlineExceeded, ServiceUnavailable
 from repro.ocs.runtime import CallContext
 from repro.services.base import Service
 
@@ -85,7 +85,7 @@ class DatabaseService(Service):
         self._write_table(table, rows)
 
     async def replicate_write(self, table: str, key: str, value: Any,
-                              deleted: bool) -> None:
+                              deleted: bool, deadline=None) -> None:
         """Push a write to every other db replica (hot-standby style)."""
         try:
             peers = await self.names.list_repl("svc/db-all")
@@ -97,9 +97,13 @@ class DatabaseService(Service):
             try:
                 await self.runtime.invoke(ref, "applyWrite",
                                           (table, key, value, deleted),
-                                          timeout=self.params.call_timeout)
-            except ServiceUnavailable:
-                continue  # a dead replica reloads from its disk + pushes
+                                          timeout=self.params.call_timeout,
+                                          deadline=deadline)
+            except (ServiceUnavailable, DeadlineExceeded):
+                # A dead replica reloads from its disk + pushes; a spent
+                # deadline means the caller is gone -- remaining pushes
+                # fail fast on the same deadline check.
+                continue
 
 
 class _DatabaseServant:
@@ -111,11 +115,19 @@ class _DatabaseServant:
 
     async def put(self, ctx: CallContext, table: str, key: str, value: Any):
         self._svc.apply_write(table, key, value, deleted=False)
-        await self._svc.replicate_write(table, key, value, deleted=False)
+        # The primary is the decision point for this row; replica
+        # applyWrite pushes are copies of the same decision and do not
+        # emit.  Two primaries deciding unordered conflicting values is
+        # the split-brain write the hb race detector flags.
+        self._svc.runtime.hb_write(f"db:{table}/{key}", ver=repr(value))
+        await self._svc.replicate_write(table, key, value, deleted=False,
+                                        deadline=ctx.deadline)
 
     async def delete(self, ctx: CallContext, table: str, key: str):
         self._svc.apply_write(table, key, None, deleted=True)
-        await self._svc.replicate_write(table, key, None, deleted=True)
+        self._svc.runtime.hb_write(f"db:{table}/{key}", ver="<deleted>")
+        await self._svc.replicate_write(table, key, None, deleted=True,
+                                        deadline=ctx.deadline)
 
     async def scan(self, ctx: CallContext, table: str):
         return dict(self._svc._table(table))

@@ -289,6 +289,11 @@ class Network:
             # Loopback: no wire crossed; charge a scheduling quantum only.
             delay = 1e-5
         delay += self._fault_delay(src_ip, dst_ip)
+        hb = self.kernel.hb_log
+        if hb is not None:
+            hb.emit("hb", "send", msg=msg.msg_id,
+                    src=f"{src_ip}:{msg.src[1]}",
+                    dst=f"{dst_ip}:{msg.dst[1]}")
         self.kernel.call_later(delay, self._deliver, msg)
         if self._dup:
             self._maybe_duplicate(msg, delay)
@@ -329,6 +334,10 @@ class Network:
             self._send_unreachable(msg)
             return
         self.messages_delivered += 1
+        hb = self.kernel.hb_log
+        if hb is not None:
+            hb.emit("hb", "recv", msg=msg.msg_id,
+                    dst=f"{dst_ip}:{dst_port}")
         handler(msg)
 
     def _send_unreachable(self, original: Message) -> None:
@@ -374,6 +383,11 @@ class Network:
             self.messages_dropped += 1
             return False
         delay = dst_iface.in_link.latency + self._fault_delay(src_ip, dst_ip)
+        hb = self.kernel.hb_log
+        if hb is not None:
+            hb.emit("hb", "send", msg=msg.msg_id,
+                    src=f"{src_ip}:{msg.src[1]}",
+                    dst=f"{dst_ip}:{msg.dst[1]}")
         self.kernel.call_later(delay, self._deliver, msg)
         return True
 
@@ -405,6 +419,10 @@ class Network:
             # One copy on the wire regardless of population: count the
             # message but charge no per-receiver bytes.
             self._account(kind, 0)
+            hb = self.kernel.hb_log
+            if hb is not None:
+                hb.emit("hb", "send", msg=msg.msg_id,
+                        src=f"{src_ip}:0", dst=f"{dst_ip}:{port}")
             self.kernel.call_later(
                 delay + iface.in_link.latency
                 + self._fault_delay(src_ip, dst_ip),

@@ -78,6 +78,11 @@ class CallContext:
     caller_ip: str
     authenticated: bool = False
     encrypted: bool = False
+    # The call envelope's absolute deadline (every call carries one:
+    # explicit when the caller propagated a budget, now + timeout
+    # otherwise).  Servants that issue downstream calls on the caller's
+    # behalf pass this along so expiry stays end-to-end (rule P005).
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -137,6 +142,25 @@ class OCSRuntime:
         network.bind_port(self.ip, self.port, self._on_message)
         process.on_exit(self._on_process_exit)
         process.attachments["ocs"] = self
+        hb = self.kernel.hb_log
+        if hb is not None:
+            # Teach the happens-before analyzer which (host, pid) actor
+            # answers on this endpoint; later binds win, matching port
+            # reuse across process incarnations.
+            hb.emit("hb", "bind", ep=f"{self.ip}:{self.port}",
+                    actor=self.hb_actor)
+
+    @property
+    def hb_actor(self) -> str:
+        """This process's identity in the happens-before graph."""
+        return f"{self.ip}/{self.process.pid}"
+
+    def hb_write(self, var: str, ver: Optional[str] = None) -> None:
+        """Record a mutation of shared cluster state for the race
+        detector (no-op unless the run carries an hb sink)."""
+        hb = self.kernel.hb_log
+        if hb is not None:
+            hb.emit("hb", "write", actor=self.hb_actor, var=var, ver=ver)
 
     # -- server side ---------------------------------------------------
 
@@ -291,7 +315,8 @@ class OCSRuntime:
                 return
         ctx = CallContext(caller=payload["caller"], caller_ip=msg.src[0],
                           authenticated=self.verifier is not None,
-                          encrypted=bool(payload.get("encrypted")))
+                          encrypted=bool(payload.get("encrypted")),
+                          deadline=msg.deadline)
         if (self.reject_expired and msg.deadline is not None
                 and self.kernel.now >= msg.deadline):
             # Pre-enqueue deadline check: the call expired in flight, so

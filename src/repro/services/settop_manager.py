@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.idl import register_interface
+from repro.idl import MethodDef, register_interface
 from repro.ocs.runtime import CallContext
 from repro.services.base import Service
 
@@ -24,7 +24,11 @@ register_interface("SettopManager", {
     # reference -> exception -> re-resolve) and its heartbeats rebuild
     # the manager's volatile table.
     "heartbeat": ("settop_ip",),
-    "reportShutdown": ("settop_ip",),
+    # Oneway: the set is powering off and will never await (or even be
+    # around to receive) a reply -- the protocol says so, instead of the
+    # caller silently detaching a two-way reply (rule P004).
+    "reportShutdown": MethodDef("reportShutdown", ("settop_ip",),
+                                oneway=True),
     "getStatus": ("settop_ips",),
     "listSettops": (),
 }, doc="Settop liveness tracking (Figure 2)")

@@ -107,7 +107,8 @@ class VODApp(SettopApp):
         movie = await self.mms.call("open", self.title, self.data_port,
                                     deadline=deadline)
         await self.runtime.invoke(movie, "playFrom", (from_position,),
-                                  timeout=self.params.call_timeout)
+                                  timeout=self.params.call_timeout,
+                                  deadline=deadline)
         self.movie = movie
         self.playing = True
         self._last_chunk = self.kernel.now

@@ -76,7 +76,9 @@ class SettopKernel:
         announce = (mgr is not None and runtime is not None
                     and self.process is not None and self.process.alive)
         if announce:
-            # Fire-and-forget; no reply is awaited (the set is going off).
+            # reportShutdown is oneway: the protocol itself says no reply
+            # is coming, so nothing is silently dropped by detaching the
+            # (already-resolved) future.
             runtime.invoke(mgr, "reportShutdown", (self.host.ip,),
                            timeout=self.params.call_timeout).detach()
         self.state = "off"

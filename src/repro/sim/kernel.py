@@ -269,6 +269,11 @@ class Kernel:
         self._stopped = False
         self._task_count = 0
         self._heap_cancelled = 0
+        # Happens-before instrumentation sink (a TraceLog, usually the
+        # cluster's own).  None (the default) keeps every emission site a
+        # single attribute check, so runs that do not ask for HB events
+        # (Params.hb_trace) stay byte-identical to the golden traces.
+        self.hb_log: Optional[Any] = None
 
     @property
     def now(self) -> float:

@@ -1,0 +1,42 @@
+"""Analysis edge cases: scope boundaries and combined suppressions.
+
+Exercises the corners the engine must get right: nested functions and
+lambdas do not inherit the enclosing scope's deadline (P005 is
+flow-sensitive per function), decorators and async generators do not
+hide a handler from the rules, and one suppression comment may name
+several rules at once.
+"""
+import functools
+
+
+async def outer(runtime, ref, deadline):
+    async def inner():
+        # Clean: `inner` itself holds no deadline; P005 must not leak
+        # the enclosing scope's budget into a nested function.
+        await runtime.invoke(ref, "get", ("t", "k"), timeout=3.0)
+
+    await inner()
+    await runtime.invoke(ref, "get", ("t", "k"), timeout=3.0,
+                         deadline=deadline)
+
+
+async def with_lambda(runtime, ref, deadline):
+    make = lambda: runtime.invoke(ref, "get", ("t", "k"), timeout=3.0)  # clean
+    await make()
+    await runtime.invoke(ref, "get", ("t", "k"), deadline=deadline)
+
+
+@functools.lru_cache(maxsize=None)
+async def decorated(runtime, ref, deadline):
+    await runtime.invoke(ref, "get", ("t", "k"), timeout=3.0)   # line 31: P005
+
+
+async def streaming(runtime, ref, deadline):
+    while True:
+        yield await runtime.invoke(ref, "get", ("t", "k"),
+                                   timeout=3.0)                 # line 37: P005
+
+
+def multi_rule_suppression():
+    for key in {}.keys():   # repro: noqa: D003, D005 - D003 live, so not stale
+        return key

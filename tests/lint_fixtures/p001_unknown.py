@@ -1,0 +1,7 @@
+"""P001 fixture: invoking an operation no registered interface declares."""
+
+
+async def caller(runtime, ref, proxy):
+    await runtime.invoke(ref, "getRow", ("t", "k"), timeout=3.0)  # line 5: P001
+    await proxy.call("frobnicate", 1)                             # line 6: P001
+    await runtime.invoke(ref, "get", ("t", "k"), timeout=3.0)     # known: clean

@@ -1,0 +1,8 @@
+"""P002 fixture: argument count disagreeing with every declaration."""
+
+
+async def caller(runtime, ref, proxy):
+    await runtime.invoke(ref, "guess", ("g",), timeout=3.0)   # line 5: P002
+    await proxy.call("order", "sku")                          # line 6: P002
+    await runtime.invoke(ref, "guess", ("g", "p", 7), timeout=3.0)   # clean
+    await proxy.call("order", "sku", 2)                              # clean

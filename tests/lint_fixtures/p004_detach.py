@@ -1,0 +1,7 @@
+"""P004 fixture: detaching a two-way reply (its errors vanish silently)."""
+
+
+async def caller(runtime, ref):
+    runtime.invoke(ref, "put", ("t", "k", 1), timeout=3.0).detach()  # 5: P004
+    await runtime.invoke(ref, "put", ("t", "k", 1), timeout=3.0)         # ok
+    runtime.invoke(ref, "reportShutdown", ("ip",), timeout=3.0).detach()  # ok

@@ -1,0 +1,20 @@
+"""P005 fixture: a scope holding a deadline must propagate it onward."""
+
+
+async def handler(runtime, ref, deadline):
+    await runtime.invoke(ref, "get", ("t", "k"), timeout=3.0)   # line 5: P005
+    await runtime.invoke(ref, "get", ("t", "k"), timeout=3.0,
+                         deadline=deadline)                     # propagated
+
+
+async def no_budget_in_scope(runtime, ref):
+    await runtime.invoke(ref, "get", ("t", "k"), timeout=3.0)   # no deadline here
+
+
+async def local_budget(runtime, ref, ctx):
+    deadline = ctx.deadline
+    await runtime.invoke(ref, "get", ("t", "k"), timeout=3.0)   # line 16: P005
+
+
+async def forwarded_kwargs(runtime, ref, deadline, **kw):
+    await runtime.invoke(ref, "get", ("t", "k"), **kw)   # kwargs may carry it

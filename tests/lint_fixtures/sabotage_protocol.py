@@ -1,0 +1,19 @@
+"""Falsifiability fixture: a service-style module with broken stub calls.
+
+This module *looks* like production replication code but gets the
+protocol wrong in three distinct ways.  The test asserting each break
+is flagged proves the conformance checker has teeth -- if the checker
+ever goes blind (model extraction breaks, rules stop visiting call
+sites), that test fails loudly instead of the checker silently passing
+everything.
+"""
+
+
+async def replicate(runtime, ref, rows):
+    # Database.applyWrite takes (table, key, value, deleted): 4 args.
+    await runtime.invoke(ref, "applyWrite", ("t", "k", rows),
+                         timeout=3.0)                      # line 15: P002
+    await runtime.invoke(ref, "applyWrit", ("t", "k", rows, False),
+                         timeout=3.0)                      # line 17: P001
+    runtime.invoke(ref, "put", ("t", "k", rows), timeout=3.0) \
+        .detach()                                          # line 19-20: P004

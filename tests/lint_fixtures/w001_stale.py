@@ -1,0 +1,7 @@
+"""W001 fixture: suppression comments that mask nothing must be deleted."""
+
+X = 1  # repro: noqa D001
+import random  # repro: noqa D001 - vetted: this one masks a real violation
+Y = 2  # repro: noqa
+
+USES = random.__name__

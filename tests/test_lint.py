@@ -134,8 +134,24 @@ class TestSuppressions:
     def test_noqa_fixture(self):
         violations = lint_fixture("noqa_suppressed.py")
         # D001 noqa'd by code, D002 noqa'd by blanket comment; the D003 on
-        # line 8 survives because its noqa names the wrong rule.
-        assert [(v.rule, v.line) for v in violations] == [("D003", 8)]
+        # line 8 survives because its noqa names the wrong rule -- which
+        # also makes that suppression stale (W001: it masks nothing).
+        assert [(v.rule, v.line) for v in violations] == [("D003", 8),
+                                                          ("W001", 8)]
+
+    def test_w001_stale_suppressions(self):
+        violations = lint_fixture("w001_stale.py")
+        # Line 3 suppresses D001 on a clean line; line 5 is a blanket
+        # noqa masking nothing.  The import-line noqa on line 4 masks a
+        # real D001 and stays.
+        assert [(v.rule, v.line) for v in violations] == [("W001", 3),
+                                                          ("W001", 5)]
+
+    def test_w001_itself_cannot_be_suppressed(self):
+        source = "x = 1  # repro: noqa W001\n"
+        violations = lint_source(source, "x.py", default_rules(),
+                                 relpath="x.py")
+        assert [(v.rule, v.line) for v in violations] == [("W001", 1)]
 
     def test_suppressed_codes_parsing(self):
         assert suppressed_codes("x = 1") is None
@@ -160,15 +176,36 @@ class TestEngine:
         assert files == sorted(set(files))
         assert all(f.endswith(".py") for f in files)
 
-    def test_rules_by_id_covers_d001_to_d010(self):
+    def test_rules_by_id_covers_the_full_catalog(self):
         ids = sorted(rules_by_id())
-        assert ids == [f"D00{i}" for i in range(1, 10)] + ["D010"]
+        assert ids == ([f"D00{i}" for i in range(1, 10)] + ["D010"]
+                       + [f"P00{i}" for i in range(1, 6)] + ["W001"])
 
     def test_stats_lines(self):
         report = lint_paths([os.path.join(FIXTURES, "d007_print.py")])
         stats = "\n".join(report.stats_lines())
         assert "D007: 1" in stats
         assert "d007_print.py: 1" in stats
+
+    def test_stats_include_protocol_coverage(self):
+        report = lint_paths([os.path.join(FIXTURES, "d010_deadline.py")])
+        stats = "\n".join(report.stats_lines())
+        assert "call-site coverage" in stats
+
+    def test_github_format(self):
+        report = lint_paths([os.path.join(FIXTURES, "d007_print.py")])
+        lines = report.github_lines()
+        assert len(lines) == 1
+        assert lines[0].startswith("::error file=")
+        assert "title=D007::" in lines[0]
+
+    def test_json_format(self):
+        import json
+        report = lint_paths([os.path.join(FIXTURES, "d007_print.py")])
+        data = json.loads(report.to_json())
+        assert data["ok"] is False
+        assert data["violations"][0]["rule"] == "D007"
+        assert data["protocol_coverage"]["total_sites"] >= 0
 
 
 class TestEnforcement:
