@@ -223,6 +223,34 @@ def bench_admission_gate(n: int) -> Dict[str, Any]:
     return out
 
 
+# -- replication change log -------------------------------------------
+
+
+def bench_changelog_append(n: int) -> Dict[str, Any]:
+    """ChangeLog append/persist/compact: the primary's write-path tax.
+
+    Every db write and NS update appends one entry and persists the log
+    to disk (PR 7), so this must stay cheap relative to the RPC that
+    carried the write.  ``retain`` is sized below ``n`` so the steady
+    state -- append, advance the digest chain, compact, persist -- is
+    what gets measured, not the empty-log honeymoon.
+    """
+    from repro.core.replication import ChangeLog
+    from repro.sim.host import Disk
+
+    log = ChangeLog(Disk(), "bench/changelog", retain=min(512, n // 4))
+
+    def run() -> Dict[str, Any]:
+        for i in range(n):
+            log.append(("write", "bench", f"key{i % 64}", i, False), epoch=1)
+        return {"appends": n, "compactions": log.compactions,
+                "retained": len(log.entries)}
+
+    out = _timed(run)
+    out["appends_per_sec"] = round(out["appends"] / max(out["wall_s"], 1e-9))
+    return out
+
+
 # -- binding cache ----------------------------------------------------
 
 
@@ -315,6 +343,7 @@ def run_suite(quick: bool = False) -> Dict[str, Any]:
     benchmarks["trace_select"] = bench_trace_select(20_000 * scale,
                                                     queries=100 * scale)
     benchmarks["admission_gate"] = bench_admission_gate(20_000 * scale)
+    benchmarks["changelog_append"] = bench_changelog_append(5_000 * scale)
     benchmarks["binding_cache"] = bench_binding_cache(20_000 * scale)
     benchmarks["boot_storm_e11"] = bench_boot_storm(16 if quick else 48)
     return {
@@ -335,7 +364,8 @@ def format_lines(results: Dict[str, Any]) -> List[str]:
     for name, data in results["benchmarks"].items():
         parts = [f"{name}: {data['wall_s'] * 1000:.1f} ms"]
         for key in ("events_per_sec", "messages_per_sec", "cycles_per_sec",
-                    "lookups_per_sec", "speedup", "sim_seconds_per_wall_s"):
+                    "appends_per_sec", "lookups_per_sec", "speedup",
+                    "sim_seconds_per_wall_s"):
             if key in data:
                 parts.append(f"{key}={data[key]}")
         lines.append("  " + "  ".join(parts))

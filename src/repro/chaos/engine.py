@@ -28,6 +28,7 @@ from repro.cluster.builder import Cluster, build_full_cluster, fresh_run_state
 from repro.cluster.scenario import Scenario
 from repro.core.params import Params
 from repro.metrics.overload import collect_overload
+from repro.metrics.replication import collect_replication
 from repro.sim.rand import SeededRandom
 
 
@@ -53,6 +54,10 @@ class ChaosResult:
     # fallbacks did (see repro.metrics.overload.collect_overload).
     overload: Dict[str, dict] = field(default_factory=dict)
     degraded_ops: int = 0
+    # PR 7: per-group replication state at quiesce -- replica cursors,
+    # log digests, catch-up counters, and the converged verdict (see
+    # repro.metrics.replication.collect_replication).
+    replication: Dict[str, dict] = field(default_factory=dict)
     # PR 6: happens-before summary (race count, write-order digests) when
     # the run was built with Params.hb_trace; None otherwise.  hb_events
     # is the raw event stream the verdict came from -- kept out of
@@ -80,6 +85,7 @@ class ChaosResult:
             "availability": self.availability,
             "overload": self.overload,
             "degraded_ops": self.degraded_ops,
+            "replication": self.replication,
             "hb": self.hb,
             "schedule": self.schedule.to_dict(),
         }
@@ -171,6 +177,7 @@ def run_schedule(schedule: FaultSchedule, seed: int, n_servers: int = 3,
         procs_killed=len(injector.killed),
         overload=collect_overload(cluster, kernels),
         degraded_ops=sum(s.stats.degraded for s in sessions),
+        replication=collect_replication(cluster),
         hb=hb_summary,
         hb_events=hb_events,
     )

@@ -26,7 +26,10 @@ The catalog (DESIGN.md section 9):
 - no server executes work whose deadline has already expired -- the
   deadline envelope must be honored on both sides of the queue (PR 4);
 - admission-gated services keep their queues bounded under any surge:
-  the gate's limits are never exceeded, only shed around (PR 4).
+  the gate's limits are never exceeded, only shed around (PR 4);
+- every NS/db replica's change-log cursor stays within
+  ``Params.replica_lag_bound`` of its primary while live and connected,
+  and matches it exactly after the quiesce (PR 7).
 """
 
 from __future__ import annotations
@@ -645,13 +648,112 @@ def _gated_runtimes(cluster: Cluster):
             yield runtime, gate
 
 
+class ReplicaLagMonitor(Monitor):
+    """Every replica's change-log cursor keeps up with its primary (PR 7).
+
+    Probes the NS replicas (``ns_replica`` attachment) and the db
+    replicas (``service`` attachment) from the outside.  Incremental
+    log shipping makes any gap O(gap) ops to close -- one heartbeat (NS)
+    or one anti-entropy poll (db) away -- so a live, connected replica
+    observed behind a settled primary's cursor must reach that cursor
+    within ``Params.replica_lag_bound``.  Lag that *persists* is the
+    silent replication gap this monitor exists to expose: a promoted
+    backup would serve diverged data.  The clock pauses while a
+    partition is in force or while no single primary is settled; after
+    the quiesce every live replica must match its primary exactly.
+    """
+
+    name = "replica_lag_bounded"
+
+    def bind(self, cluster, injector, params, context) -> None:
+        super().bind(cluster, injector, params, context)
+        self._behind: Dict[tuple, Tuple[float, int]] = {}
+        self._reported: set = set()
+
+    def _groups(self) -> List[Tuple[str, int, List[Tuple[str, int]]]]:
+        """Per service kind: the settled primary's seq + member cursors."""
+        groups = []
+        ns_primaries: List[int] = []
+        ns_members: List[Tuple[str, int]] = []
+        db_primaries: List[int] = []
+        db_members: List[Tuple[str, int]] = []
+        for host in self.cluster.servers:
+            proc = host.find_process("ns")
+            if proc is not None and proc.alive:
+                replica = proc.attachments.get("ns_replica")
+                if replica is not None:
+                    ns_members.append((host.ip, replica.store.applied_seq))
+                    if replica.is_master:
+                        ns_primaries.append(replica.store.applied_seq)
+            proc = host.find_process("db")
+            if proc is not None and proc.alive:
+                service = proc.attachments.get("service")
+                log = getattr(service, "log", None)
+                if log is not None:
+                    db_members.append((host.ip, log.seq))
+                    if getattr(service, "is_primary", False):
+                        db_primaries.append(log.seq)
+        if len(ns_primaries) == 1:
+            groups.append(("ns", ns_primaries[0], ns_members))
+        if len(db_primaries) == 1:
+            groups.append(("db", db_primaries[0], db_members))
+        return groups
+
+    def check(self) -> List[Violation]:
+        now = self.cluster.now
+        if self.cluster.net.partitioned:
+            self._behind.clear()
+            return []
+        out: List[Violation] = []
+        seen = set()
+        for kind, primary_seq, members in self._groups():
+            for ip, seq in members:
+                if seq >= primary_seq:
+                    continue
+                key = (kind, ip)
+                seen.add(key)
+                if key not in self._behind:
+                    # First observation: remember the cursor to beat.
+                    self._behind[key] = (now, primary_seq)
+                    continue
+                since, target = self._behind[key]
+                if seq >= target:
+                    # Reached the seq it was first seen behind: catch-up
+                    # is live, re-arm against the primary's new cursor.
+                    self._behind[key] = (now, primary_seq)
+                    continue
+                if (key not in self._reported
+                        and now - since > self.params.replica_lag_bound):
+                    self._reported.add(key)
+                    out.append(self._violation(
+                        f"{kind} replica {ip} wedged at seq {seq} < "
+                        f"{target} for {now - since:.1f}s"))
+        for key in list(self._behind):
+            if key not in seen:
+                del self._behind[key]
+                self._reported.discard(key)
+        return out
+
+    def finish(self) -> List[Violation]:
+        if self.cluster.net.partitioned:
+            return []
+        out: List[Violation] = []
+        for kind, primary_seq, members in self._groups():
+            for ip, seq in members:
+                if seq != primary_seq:
+                    out.append(self._violation(
+                        f"after quiesce: {kind} replica {ip} at seq {seq}, "
+                        f"primary at {primary_seq}"))
+        return out
+
+
 def default_monitors() -> List[Monitor]:
     """The full invariant catalog, fresh instances."""
     return [CscPrimaryMonitor(), NsAgreementMonitor(),
             AuditConvergenceMonitor(), CacheCoherenceMonitor(),
             SettopServiceMonitor(), FutureLeakMonitor(),
             ExpiredWorkMonitor(), QueueBoundMonitor(),
-            HbRaceMonitor()]
+            HbRaceMonitor(), ReplicaLagMonitor()]
 
 
 class MonitorBus:

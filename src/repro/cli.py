@@ -199,6 +199,12 @@ def _cmd_chaos(args) -> int:
         if result.hb is not None:
             print(f"  hb: events={result.hb['events']} "
                   f"writes={result.hb['writes']} races={result.hb['races']}")
+        for kind, repl in sorted(result.replication.items()):
+            verdict = "converged" if repl["converged"] else "DIVERGED"
+            print(f"  repl[{kind}]: {verdict} replicas={len(repl['replicas'])} "
+                  f"catch_ups={repl['catch_ups']} "
+                  f"ops={repl['catch_up_ops']} "
+                  f"snapshot_fetches={repl['snapshot_fetches']}")
         if args.double_run:
             if results[1].digest != result.digest:
                 print(f"  DETERMINISM VIOLATION: re-run digest "

@@ -326,6 +326,22 @@ class Cluster:
                 return host.ip
         return None
 
+    def db_primary_ip(self) -> Optional[str]:
+        """Which live db replica currently holds the primary binding.
+
+        Write-through replication (PR 7) routes every write here; tests
+        and fault schedules use this to aim kill-primary-mid-write
+        drills at the right host.
+        """
+        for host in self.servers:
+            proc = host.find_process("db")
+            if proc is None or not proc.alive:
+                continue
+            service = proc.attachments.get("service")
+            if service is not None and getattr(service, "is_primary", False):
+                return host.ip
+        return None
+
     def running_services(self) -> Dict[str, List[str]]:
         out: Dict[str, List[str]] = {}
         for host in self.servers:

@@ -21,7 +21,7 @@ from typing import Dict, List
 
 from repro.core.control.ssc import ssc_ref
 from repro.core.rebind import RebindingProxy
-from repro.core.replication import PrimaryBackupBinder
+from repro.core.replication import NotPrimary, PrimaryBackupBinder
 from repro.idl import register_exception, register_interface
 from repro.ocs.exceptions import ServiceUnavailable
 from repro.ocs.runtime import CallContext
@@ -35,11 +35,6 @@ register_interface("ClusterController", {
     "moveService": ("service", "from_ip", "to_ip"),
     "serverStatus": (),
 }, doc="Cluster Service Controller (section 6.2)")
-
-
-@register_exception
-class NotPrimary(Exception):
-    """Directed operation sent to a CSC backup."""
 
 
 @register_exception

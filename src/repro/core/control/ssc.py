@@ -213,6 +213,11 @@ class ServerServiceController:
         service* per interval collapses into one batch per server.
         Returns ``(reports, entries)``: per-service gauge dicts for the
         RAS and ``(path, member, load)`` tuples for the Selectors.
+
+        Replicated services (NS, db) also expose ``replication_gauges``
+        -- their change-log cursor and lag behind the primary (PR 7) --
+        which rides the same batch, so a wedged replica shows up in the
+        RAS load feed with no extra wire traffic.
         """
         reports: Dict[str, dict] = {}
         entries: List[tuple] = []
@@ -222,10 +227,18 @@ class ServerServiceController:
             if (service is None or entry.process is None
                     or not entry.process.alive):
                 continue
+            report: Dict[str, object] = {}
             gate = getattr(getattr(service, "runtime", None), "admission", None)
+            if gate is not None:
+                report.update(gate.gauges())
+            repl_gauges = getattr(service, "replication_gauges", None)
+            if repl_gauges is not None:
+                report.update(repl_gauges())
+            if not report:
+                continue
+            reports[name] = report
             if gate is None:
                 continue
-            reports[name] = gate.gauges()
             load = gate.load()
             for binding in list(getattr(service, "_replica_bindings", [])):
                 path = (f"{binding['parent']}/{binding['context']}"

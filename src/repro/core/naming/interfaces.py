@@ -62,12 +62,20 @@ NAME_REPLICA = register_interface(
     "NameReplica",
     {
         "forwardUpdate": ("op",),
-        "applyUpdate": MethodDef("applyUpdate", ("seq", "op"), oneway=True),
+        # PR 7: the master streams numbered change-log batches; each
+        # entry is (seq, epoch, op) and ``from_seq`` is the seq just
+        # before the batch so a receiver detects gaps immediately.
+        "applyUpdates": MethodDef("applyUpdates", ("from_seq", "entries"),
+                                  oneway=True),
         "requestVote": ("epoch", "candidate_ip", "candidate_seq"),
         # Acknowledged so the master can count reachable replicas: it
         # steps down when it no longer commands a majority.
         "heartbeat": ("epoch", "master_ip", "seq"),
-        "fetchState": (),
+        # Incremental catch-up from the change log: returns
+        # ("ops", entries) for a shared-history cursor, or
+        # ("snapshot", snap, epoch, digest) when the log was truncated
+        # past the cursor or the histories forked.
+        "fetchUpdates": ("from_seq", "from_epoch"),
         "status": (),
     },
     doc="Internal replica-to-replica protocol (section 4.6)",

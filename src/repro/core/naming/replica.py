@@ -30,6 +30,7 @@ from repro.core.naming.errors import (
 from repro.core.naming.selectors import SelectorState, run_builtin
 from repro.core.naming.store import SELECTOR_NAME, NameStore, join_name, split_name
 from repro.core.params import Params
+from repro.core.replication import ChangeLog
 from repro.idl import lookup_interface
 from repro.net.network import Network
 from repro.ocs.exceptions import ServiceUnavailable
@@ -70,6 +71,12 @@ class NameReplicaProcess:
         self.rng = rng or SeededRandom(stable_seed("ns", self.ip))
         self.trace = trace
         self.store = NameStore()
+        # PR 7: the numbered change log lives on the host disk; a
+        # restarted replica resumes from its old cursor and catches up
+        # incrementally (online bootstrap) instead of starting empty.
+        self.changelog = ChangeLog(process.host.disk, "ns/changelog",
+                                   retain=params.changelog_retain,
+                                   on_compact=self._persist_snapshot)
         self.selector_state = SelectorState(rng=self.rng.stream("selectors"))
         self._cpu = Semaphore(self.kernel, 1)
         # -- election state (Echo-style majority voting) ----------------
@@ -78,14 +85,18 @@ class NameReplicaProcess:
         self.voted_for: Optional[str] = None
         self.master_ip: Optional[str] = None
         self.last_heartbeat = self.kernel.now
+        self.last_master_seq = 0             # from heartbeats (lag gauge)
         self._election_timeout = self._new_timeout()
-        self._fetching_state = False
-        self._fetch_force = False
+        self._catching_up = False
         # -- metrics ------------------------------------------------------
         self.resolves_served = 0
         self.updates_forwarded = 0
         self.updates_applied = 0
         self.audit_removals = 0
+        self.catch_ups = 0
+        self.catch_up_ops = 0
+        self.snapshot_fetches = 0
+        self._restore_from_disk()
         # -- exports -------------------------------------------------------
         self._context_servants: Dict[str, ContextServant] = {}
         self.runtime.export(_ReplicaServant(self), "NameReplica",
@@ -332,7 +343,7 @@ class NameReplicaProcess:
             raise NoMaster("no name-service master elected yet")
         self.updates_forwarded += 1
         try:
-            seq, applied_op = await self.runtime.invoke(
+            seq, epoch, applied_op = await self.runtime.invoke(
                 self.peer_replica_ref(self.master_ip), "forwardUpdate", (op,),
                 timeout=self.params.call_timeout)
         except ServiceUnavailable as err:
@@ -340,13 +351,15 @@ class NameReplicaProcess:
             raise NoMaster(f"master {self.master_ip} unreachable: {err}") from err
         # Apply locally right away so the caller reads its own write; the
         # master's multicast of the same seq is deduplicated.
-        self._ingest(seq, applied_op)
+        self._ingest(seq, epoch, applied_op)
         return seq
 
     def _master_apply(self, op: tuple) -> int:
         self.store.check(op)
         seq = self.store.applied_seq + 1
         self.store.apply_numbered(seq, op)
+        log_seq = self.changelog.append(op, self.epoch)
+        assert log_seq == seq, f"store/log desync: {seq} vs {log_seq}"
         self.updates_applied += 1
         self._sync_context_exports()
         self._emit("update", seq=seq, op=op[0], path=op[1])
@@ -359,21 +372,43 @@ class NameReplicaProcess:
         # applying the identical repair (e.g. both audit-unbind the same
         # dead binding across an election) converge and are not a race.
         self.runtime.hb_write(f"ns:{op[1]}", ver=repr(op))
+        entry = (seq, self.epoch, op)
         for peer in self.replica_ips:
             if peer != self.ip:
-                # Best-effort push; the audit loop repairs missed peers.
-                self.runtime.invoke(self.peer_replica_ref(peer), "applyUpdate",
-                                    (seq, op),
+                # Best-effort push; a missed peer streams the gap from
+                # the change log on the next heartbeat (O(gap) ops).
+                self.runtime.invoke(self.peer_replica_ref(peer),
+                                    "applyUpdates", (seq - 1, [entry]),
                                     timeout=self.params.call_timeout).detach()
         return seq
 
-    def _ingest(self, seq: int, op: tuple) -> None:
+    def _ingest(self, seq: int, epoch, op: tuple) -> None:
         try:
             if self.store.apply_numbered(seq, op):
+                self.changelog.record(seq, epoch, op)
                 self.updates_applied += 1
                 self._sync_context_exports()
         except ValueError:
-            self._schedule_state_fetch()
+            self._schedule_catch_up()
+
+    def on_apply_updates(self, from_seq: int, entries) -> None:
+        """A streamed change-log batch from the master (or a deposed one)."""
+        if self.role == "master":
+            return  # stale push from a deposed master; elections resolve it
+        if from_seq > self.store.applied_seq:
+            self._schedule_catch_up()
+            return
+        for seq, epoch, op in entries:
+            if seq <= self.store.applied_seq:
+                # Overlap: a duplicate delivery is fine, but a *different*
+                # reign's entry at a seq we already hold means our history
+                # forked (minority-side updates) -- resync from the master.
+                known = self.changelog.epoch_at(seq)
+                if known is not None and known != epoch:
+                    self._schedule_catch_up()
+                    return
+                continue
+            self._ingest(seq, epoch, tuple(op))
 
     def _sync_context_exports(self) -> None:
         """Keep one exported context object per tree context (section 9.2)."""
@@ -393,39 +428,95 @@ class NameReplicaProcess:
         return "ReplicatedContext" if node.kind == "replicated" else "NamingContext"
 
     # ------------------------------------------------------------------
-    # state transfer
+    # catch-up: incremental log shipping, snapshot only as fallback
     # ------------------------------------------------------------------
 
-    def _schedule_state_fetch(self, force: bool = False) -> None:
-        """``force`` bypasses the sequence-number guard in the fetch.
+    def _persist_snapshot(self) -> None:
+        """Keep an on-disk snapshot covering everything below the log.
 
-        Sequence numbers only order updates within one master's reign; a
-        replica that spent a partition on the minority side may carry a
-        *forked* history whose seq is higher than the surviving master's
-        (its own audit unbinds inflated it).  After adopting a new
-        master the store must be resynced unconditionally, or local
-        reads serve the fork forever.
+        Fired by change-log compaction (and snapshot adoption): boot
+        restores the snapshot, then replays the retained log tail, so
+        truncation never loses restart coverage.
         """
-        self._fetch_force = self._fetch_force or force
-        if self._fetching_state or self.master_ip in (None, self.ip):
-            return
-        self._fetching_state = True
-        self.process.create_task(self._fetch_state(), name="ns-fetch-state").detach()
+        self.process.host.disk.write("ns/state", self.store.snapshot())
 
-    async def _fetch_state(self) -> None:
+    def _restore_from_disk(self) -> None:
+        """Online bootstrap: resume from the persisted snapshot + log."""
+        snap = self.process.host.disk.read("ns/state")
+        if snap is not None and snap["seq"] > self.store.applied_seq:
+            self.store.load_snapshot(snap)
+        for seq, _epoch, op in self.changelog.entries:
+            try:
+                self.store.apply_numbered(seq, op)
+            except ValueError:  # pragma: no cover - snapshot/log desync
+                break
+        if self.store.applied_seq:
+            self._emit("restored", seq=self.store.applied_seq)
+
+    def _schedule_catch_up(self) -> None:
+        if self._catching_up or self.master_ip in (None, self.ip):
+            return
+        self._catching_up = True
+        self.process.create_task(self._catch_up(), name="ns-catch-up").detach()
+
+    async def _catch_up(self) -> None:
         try:
-            snap = await self.runtime.invoke(
-                self.peer_replica_ref(self.master_ip), "fetchState", (),
-                timeout=self.params.call_timeout)
-            if self._fetch_force or snap["seq"] > self.store.applied_seq:
-                self.store.load_snapshot(snap)
-                self._sync_context_exports()
-                self._fetch_force = False
-                self._emit("state_fetched", seq=snap["seq"])
+            await self._catch_up_from(self.master_ip)
         except (ServiceUnavailable, CancelledError):
             pass
         finally:
-            self._fetching_state = False
+            self._catching_up = False
+
+    async def _catch_up_from(self, peer_ip: str,
+                             timeout: Optional[float] = None) -> None:
+        """Pull the updates after our change-log cursor from ``peer_ip``.
+
+        The request carries ``(from_seq, from_epoch)``.  The peer streams
+        ops when it shares our history at that cursor -- O(gap) work --
+        and answers with a full snapshot only when the cursor epoch
+        mismatches (a forked minority history: the PR 3 stale-read case,
+        now *detected* instead of assumed on every adoption) or when its
+        log has been truncated past our cursor.
+        """
+        from_seq = self.store.applied_seq
+        from_epoch = self.changelog.epoch_at(from_seq)
+        reply = await self.runtime.invoke(
+            self.peer_replica_ref(peer_ip), "fetchUpdates",
+            (from_seq, from_epoch),
+            timeout=timeout or self.params.call_timeout)
+        if reply[0] == "ops":
+            applied = 0
+            for seq, epoch, op in reply[1]:
+                try:
+                    if self.store.apply_numbered(seq, tuple(op)):
+                        self.changelog.record(seq, epoch, tuple(op))
+                        applied += 1
+                except ValueError:  # pragma: no cover - concurrent adoption
+                    break
+            if applied:
+                self.updates_applied += applied
+                self._sync_context_exports()
+            self.catch_ups += 1
+            self.catch_up_ops += applied
+            self._emit("catch_up", from_seq=from_seq,
+                       to_seq=self.store.applied_seq, ops=applied)
+        else:
+            _tag, snap, epoch, digest = reply
+            self.store.load_snapshot(snap)
+            self.changelog.reset(snap["seq"], epoch, digest)
+            self._persist_snapshot()
+            self._sync_context_exports()
+            self.snapshot_fetches += 1
+            self._emit("state_fetched", seq=snap["seq"])
+
+    def on_fetch_updates(self, from_seq: int, from_epoch):
+        """Serve a peer's catch-up request from the change log."""
+        entries = self.changelog.entries_from(from_seq, from_epoch)
+        if entries is not None:
+            return ("ops", entries)
+        return ("snapshot", self.store.snapshot(),
+                self.changelog.epoch_at(self.changelog.seq),
+                self.changelog.digest)
 
     # ------------------------------------------------------------------
     # election (Echo-style majority voting)
@@ -474,15 +565,12 @@ class NameReplicaProcess:
                 if peer_seq > best_seq:
                     best_seq, best_peer = peer_seq, peer
         if votes >= self.quorum:
-            # Adopt the most up-to-date granter's state before serving.
+            # Adopt the most up-to-date granter's state before serving:
+            # an incremental pull from its change log (snapshot only if
+            # our histories forked or its log was truncated).
             if best_peer is not None:
                 try:
-                    snap = await self.runtime.invoke(
-                        self.peer_replica_ref(best_peer), "fetchState", (),
-                        timeout=2.0)
-                    if snap["seq"] > self.store.applied_seq:
-                        self.store.load_snapshot(snap)
-                        self._sync_context_exports()
+                    await self._catch_up_from(best_peer, timeout=2.0)
                 except ServiceUnavailable:
                     pass
             if self.epoch != epoch or self.role != "candidate":
@@ -564,13 +652,17 @@ class NameReplicaProcess:
                 self.role = "slave"
             self._emit("adopted_master", epoch=epoch, master=master_ip)
             # A new reign: our history may have forked from the new
-            # master's (minority-side updates during a partition), and
-            # seq comparison cannot detect that -- resync unconditionally.
+            # master's (minority-side updates during a partition).  The
+            # catch-up request carries our cursor *epoch*, so the master
+            # detects a fork and answers with a snapshot; a shared
+            # history costs O(gap) ops -- not the old unconditional
+            # full-state fetch.
             if master_ip != self.ip:
-                self._schedule_state_fetch(force=True)
+                self._schedule_catch_up()
         self.last_heartbeat = self.kernel.now
+        self.last_master_seq = seq
         if seq > self.store.applied_seq:
-            self._schedule_state_fetch()
+            self._schedule_catch_up()
 
     def _step_down(self, candidate_ip: Optional[str]) -> None:
         self.role = "slave"
@@ -579,15 +671,23 @@ class NameReplicaProcess:
         self._election_timeout = self._new_timeout()
         self._emit("stepped_down", epoch=self.epoch)
 
-    def on_forward_update(self, op: tuple) -> Tuple[int, tuple]:
+    def on_forward_update(self, op: tuple) -> Tuple[int, Any, tuple]:
         if self.role != "master":
             raise NoMaster(f"{self.ip} is not the master")
         seq = self._master_apply(op)
-        return seq, op
+        return seq, self.epoch, op
 
     def status(self) -> dict:
         return {"ip": self.ip, "role": self.role, "epoch": self.epoch,
-                "master": self.master_ip, "seq": self.store.applied_seq}
+                "master": self.master_ip, "seq": self.store.applied_seq,
+                "log_base": self.changelog.base_seq,
+                "catch_ups": self.catch_ups,
+                "snapshot_fetches": self.snapshot_fetches}
+
+    def replication_gauges(self) -> dict:
+        """Lag gauges scraped into the SSC load-report batch (PR 7)."""
+        return {"repl_seq": self.store.applied_seq,
+                "repl_lag": self.changelog.lag_behind(self.last_master_seq)}
 
     # ------------------------------------------------------------------
     # auditing (section 4.7): remove dead objects from the name space
@@ -661,8 +761,8 @@ class _ReplicaServant:
     async def forwardUpdate(self, ctx: CallContext, op: tuple):
         return self._replica.on_forward_update(tuple(op))
 
-    async def applyUpdate(self, ctx: CallContext, seq: int, op: tuple):
-        self._replica._ingest(seq, tuple(op))
+    async def applyUpdates(self, ctx: CallContext, from_seq: int, entries):
+        self._replica.on_apply_updates(from_seq, entries)
 
     async def requestVote(self, ctx: CallContext, epoch: int,
                           candidate_ip: str, candidate_seq: int):
@@ -672,8 +772,8 @@ class _ReplicaServant:
                         seq: int):
         self._replica.on_heartbeat(epoch, master_ip, seq)
 
-    async def fetchState(self, ctx: CallContext):
-        return self._replica.store.snapshot()
+    async def fetchUpdates(self, ctx: CallContext, from_seq: int, from_epoch):
+        return self._replica.on_fetch_updates(from_seq, from_epoch)
 
     async def status(self, ctx: CallContext):
         return self._replica.status()

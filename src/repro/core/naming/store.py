@@ -212,7 +212,10 @@ class NameStore:
 
         Returns True when applied; False when already applied (duplicate
         delivery).  A gap (seq too far ahead) raises ``ValueError`` so the
-        replica knows to fetch state.
+        replica knows to catch up from the master's change log (PR 7) --
+        it streams the missing ``(from_seq, current]`` tail in O(gap)
+        ops, taking a full snapshot only if the log was truncated past
+        our cursor or the histories forked.
         """
         if seq <= self.applied_seq:
             return False

@@ -96,6 +96,22 @@ class Params:
     # must not see them.
     hb_trace: bool = False
 
+    # -- replication change log (PR 7, devpi-style log shipping) -----------
+    # Entries kept in the on-disk ChangeLog after compaction.  A replica
+    # whose cursor falls more than this many updates behind the primary
+    # must take the snapshot+tail fallback instead of the O(gap)
+    # incremental catch-up.
+    changelog_retain: int = 512
+    # Anti-entropy cadence: a db backup polls the primary's change log
+    # on this interval (devpi's replica poll), so a push missed during a
+    # partition is repaired even if no further write ever arrives.  The
+    # NS needs no poll -- its heartbeats already carry the master seq.
+    db_replication_poll: float = 10.0
+    # Chaos monitor bound: how long a live replica may trail its primary's
+    # change-log sequence before ``replica_lag_bounded`` trips.  Sized to
+    # cover one anti-entropy poll plus the catch-up RPC with slack.
+    replica_lag_bound: float = 30.0
+
     # -- chaos engine (repro.chaos) ---------------------------------------
     chaos_monitor_interval: float = 5.0    # invariant-monitor probe cadence
     chaos_audit_slack: float = 45.0        # grace beyond the audit polls

@@ -11,17 +11,192 @@ others periodically retry the binding request, which will fail so long
 as the primary is alive.  If the primary fails, its binding will be
 removed from the name service [by the audit].  Subsequently one of the
 backup replicas' bind requests will succeed."
+
+PR 7 adds the :class:`ChangeLog`: a monotonically numbered, disk-
+persisted update log (devpi-style log shipping) shared by the name
+service replicas and the db service.  The primary appends every update
+and streams ``applyUpdates(from_seq, entries)`` batches; a behind
+replica catches up incrementally from the log in O(gap) ops, falling
+back to a full snapshot only when the log has been truncated past its
+cursor or the histories have forked (DESIGN.md section 13).
 """
 
 from __future__ import annotations
 
-from typing import Awaitable, Callable, Optional
+import hashlib
+from typing import Any, Awaitable, Callable, List, Optional, Tuple
 
-from repro.core.naming.errors import AlreadyBound, NamingError
+from repro.idl import register_exception
 from repro.ocs.exceptions import ServiceUnavailable
 from repro.ocs.objref import ObjectRef
 
 PromoteHook = Callable[[], Optional[Awaitable[None]]]
+
+
+@register_exception
+class NotPrimary(Exception):
+    """A primary-only operation reached a backup replica.
+
+    Shared by every primary/backup service (CSC directed operations, db
+    write-through forwarding): the caller treats it as retryable and
+    re-resolves the primary binding.
+    """
+
+# (seq, epoch, op): epoch identifies the reign that appended the entry --
+# the NS election epoch (int) or the db primary's process incarnation
+# (tuple).  Two logs sharing (seq, epoch) share the whole prefix up to
+# seq, so epoch comparison at the requester's cursor detects forked
+# minority histories that bare sequence numbers cannot.
+LogEntry = Tuple[int, Any, tuple]
+
+GENESIS_EPOCH = None  # epoch "before the first entry" of an empty log
+
+
+def _chain_digest(digest: str, seq: int, op: tuple) -> str:
+    """Fold one applied op into the running change-log digest."""
+    return hashlib.sha256(
+        f"{digest}|{seq}|{op!r}".encode()).hexdigest()
+
+
+class ChangeLog:
+    """Monotonically numbered, disk-persisted update log.
+
+    One instance per replica, living on the host :class:`~repro.sim.host.
+    Disk` under ``disk_key`` so it survives process crashes and host
+    reboots -- the basis for online replica bootstrap.  The primary
+    ``append``s, replicas ``record`` streamed entries at the same
+    sequence numbers, and ``entries_from`` answers a peer's incremental
+    catch-up request (or refuses with ``None`` when only a snapshot can
+    help).
+
+    Compaction keeps the newest ``retain`` entries; ``(base_seq,
+    base_epoch)`` describe the entry just below the retained window.
+    ``on_compact`` fires after each truncation so the owner can persist
+    a matching state snapshot (the NS stores its tree; db tables are
+    already the materialized on-disk state).
+
+    ``digest`` is a running sha256 chain over every applied ``(seq,
+    op)``.  A replica that adopts a snapshot adopts the sender's digest
+    at that seq, so at quiesce equal digests mean byte-identical update
+    histories -- the cross-replica conformance oracle.
+    """
+
+    def __init__(self, disk, disk_key: str, retain: int = 512,
+                 on_compact: Optional[Callable[[], None]] = None):
+        self.disk = disk
+        self.disk_key = disk_key
+        self.retain = max(1, retain)
+        self.on_compact = on_compact
+        state = disk.read(disk_key)
+        if state is None:
+            self.entries: List[LogEntry] = []
+            self.seq = 0
+            self.base_seq = 0
+            self.base_epoch = GENESIS_EPOCH
+            self.digest = ""
+            self.compactions = 0
+        else:
+            self.entries = [tuple(e) for e in state["entries"]]
+            self.seq = state["seq"]
+            self.base_seq = state["base_seq"]
+            self.base_epoch = state["base_epoch"]
+            self.digest = state["digest"]
+            self.compactions = state["compactions"]
+
+    # -- mutation ------------------------------------------------------
+
+    def append(self, op: tuple, epoch) -> int:
+        """Primary side: assign the next sequence number to ``op``."""
+        seq = self.seq + 1
+        self._add(seq, epoch, op)
+        return seq
+
+    def record(self, seq: int, epoch, op: tuple) -> bool:
+        """Replica side: record a streamed entry at its assigned seq.
+
+        Returns False for an already-recorded entry; raises ValueError
+        on a gap (the caller schedules a catch-up instead).
+        """
+        if seq <= self.seq:
+            return False
+        if seq != self.seq + 1:
+            raise ValueError(f"log gap: have {self.seq}, got {seq}")
+        self._add(seq, epoch, op)
+        return True
+
+    def _add(self, seq: int, epoch, op: tuple) -> None:
+        self.entries.append((seq, epoch, op))
+        self.seq = seq
+        self.digest = _chain_digest(self.digest, seq, op)
+        if len(self.entries) > self.retain:
+            cut = len(self.entries) - self.retain
+            last_dropped = self.entries[cut - 1]
+            del self.entries[:cut]
+            self.base_seq = last_dropped[0]
+            self.base_epoch = last_dropped[1]
+            self.compactions += 1
+            if self.on_compact is not None:
+                self.on_compact()
+        self._persist()
+
+    def reset(self, seq: int, epoch, digest: str) -> None:
+        """Adopt a snapshot: the log restarts empty at the sender's seq."""
+        self.entries = []
+        self.seq = seq
+        self.base_seq = seq
+        self.base_epoch = epoch
+        self.digest = digest
+        self._persist()
+
+    def _persist(self) -> None:
+        self.disk.write(self.disk_key, {
+            "entries": list(self.entries),
+            "seq": self.seq,
+            "base_seq": self.base_seq,
+            "base_epoch": self.base_epoch,
+            "digest": self.digest,
+            "compactions": self.compactions,
+        })
+
+    # -- queries -------------------------------------------------------
+
+    def epoch_at(self, seq: int):
+        """The epoch of the entry at ``seq``; None when unknowable.
+
+        ``seq == base_seq`` answers from the compaction watermark; a seq
+        below the retained window (or beyond the log head) is unknowable
+        and the caller must treat it as "cannot serve incrementally".
+        """
+        if seq == self.base_seq:
+            return self.base_epoch
+        if self.base_seq < seq <= self.seq:
+            return self.entries[seq - self.base_seq - 1][1]
+        return None
+
+    def entries_from(self, from_seq: int, from_epoch) -> Optional[List[LogEntry]]:
+        """Entries after a peer's ``(from_seq, from_epoch)`` cursor.
+
+        Returns the (possibly empty) tail when the peer shares our
+        history at its cursor; ``None`` when only a snapshot can help:
+        the cursor is ahead of us or carries a different epoch (forked
+        history), or it has been truncated out of the retained window.
+        """
+        if from_seq > self.seq:
+            return None
+        if from_seq < self.base_seq:
+            return None
+        if self.epoch_at(from_seq) != from_epoch and from_seq > 0:
+            return None
+        return self.entries[from_seq - self.base_seq:]
+
+    def lag_behind(self, primary_seq: int) -> int:
+        return max(0, primary_seq - self.seq)
+
+
+# Imported here, not at the top: repro.core.naming's package init pulls
+# in replica.py, which imports ChangeLog from this module -- the import
+# must sit below the classes the cycle re-enters for.
+from repro.core.naming.errors import AlreadyBound, NamingError  # noqa: E402
 
 
 class PrimaryBackupBinder:
@@ -67,9 +242,36 @@ class PrimaryBackupBinder:
                 await self.service.names.ensure_context(parent)
             await self.service.names.bind(self.name, self.ref)
         except AlreadyBound:
-            return  # the primary is alive; stay backup
+            # Usually the primary is alive -- stay backup.  But after the
+            # SSC restarts a killed primary on this host, the name still
+            # holds the *previous incarnation's* ref: a dead endpoint
+            # nobody can call, which would otherwise park every replica
+            # in AlreadyBound until the RAS audit removes it (up to an
+            # audit cycle of write unavailability).  Our own host's stale
+            # binding is unambiguously ours -- same disk, same log --
+            # so reclaim it now (section 9.5: "the normal recovery
+            # mechanisms make the stop and restart invisible").
+            if not await self._reclaim_stale_binding():
+                return
         except (NamingError, ServiceUnavailable):
             return  # name service unavailable; retry next interval
+        await self._promote()
+
+    async def _reclaim_stale_binding(self) -> bool:
+        """Replace this host's previous incarnation's binding with ours."""
+        try:
+            current = await self.service.names.resolve(self.name)
+            if current == self.ref:
+                return True  # our bind landed despite the error reply
+            if current.ip != self.service.host.ip:
+                return False  # another host's primary; not ours to take
+            await self.service.names.unbind(self.name)
+            await self.service.names.bind(self.name, self.ref)
+        except (AlreadyBound, NamingError, ServiceUnavailable):
+            return False  # lost the race (or NS hiccup); retry next cycle
+        return True
+
+    async def _promote(self) -> None:
         self.role = "primary"
         self.promotions += 1
         self.service.emit("promoted", name=self.name)

@@ -2,26 +2,39 @@
 
 Stores tables on the server's disk, so data survives process crashes and
 host reboots.  One replica runs per configured server; the primary (by
-bind race on ``svc/db``) serves writes and pushes each write to the other
-replicas' disks, so a promoted backup serves the same data.  This is the
-"slow-changing state read from the database" that most services use to
-recover after a failure (section 9.4) -- e.g. the CSC's service placement
-(section 6.2).
+bind race on ``svc/db``) serializes writes through a monotonically
+numbered, disk-persisted :class:`~repro.core.replication.ChangeLog` and
+streams ``applyUpdates(from_seq, entries)`` batches to the other
+replicas (PR 7, devpi-style log shipping).  A behind replica -- missed
+push, restart, or post-failover -- pulls the missing tail from the
+primary's log in O(gap) ops, falling back to a full snapshot only when
+the log was truncated past its cursor or the histories forked.  This is
+the "slow-changing state read from the database" that most services use
+to recover after a failure (section 9.4) -- e.g. the CSC's service
+placement (section 6.2).
 
 Reads can go to any replica through ``svc/db-all/<server-ip>``; the
-common path resolves ``svc/db`` (the primary).
+common path resolves ``svc/db`` (the primary).  A *write* arriving at a
+non-primary replica is write-through proxied: forwarded to the primary
+and acked only once the change has streamed back into the local log, so
+the writer immediately reads its own write from this replica.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from repro.core.naming.errors import NamingError
-from repro.core.replication import PrimaryBackupBinder
+from repro.core.replication import (
+    ChangeLog,
+    NotPrimary,
+    PrimaryBackupBinder,
+)
 from repro.idl import register_exception, register_interface
 from repro.ocs.exceptions import DeadlineExceeded, ServiceUnavailable
 from repro.ocs.runtime import CallContext
 from repro.services.base import Service
+from repro.sim.errors import CancelledError
 
 register_interface("Database", {
     "get": ("table", "key"),
@@ -29,8 +42,16 @@ register_interface("Database", {
     "delete": ("table", "key"),
     "scan": ("table",),
     "tables": (),
-    # internal: primary -> backup write propagation
-    "applyWrite": ("table", "key", "value", "deleted"),
+    # internal: primary -> replica change-log stream.  Each entry is
+    # (seq, epoch, op); ``from_seq`` is the seq just before the batch so
+    # a receiver detects gaps immediately.  Acknowledged (unlike the NS
+    # variant) so the primary knows which pushes landed before acking
+    # the writer.
+    "applyUpdates": ("from_seq", "entries"),
+    # internal: incremental catch-up from the primary's change log.
+    "fetchUpdates": ("from_seq", "from_epoch"),
+    # write-through proxying: a replica forwards a write to the primary.
+    "forwardWrite": ("table", "key", "value", "deleted"),
 }, doc="Persistent tables (Figure 2)")
 
 
@@ -40,6 +61,8 @@ class NoSuchKey(Exception):
 
 
 _DISK_PREFIX = "db/"
+# The change log lives outside the table prefix so tables() stays clean.
+_LOG_KEY = "dbrepl/changelog"
 
 
 def seed_database(disk, table: str, rows: Dict[str, Any]) -> None:
@@ -54,12 +77,42 @@ class DatabaseService(Service):
     ADMISSION_CONTROLLED = True
 
     async def start(self) -> None:
+        # The on-disk log survives crashes/reboots: a restarted replica
+        # resumes from its old cursor and catches up incrementally while
+        # the rest of the cluster serves traffic (online bootstrap).
+        self.log = ChangeLog(self.host.disk, _LOG_KEY,
+                             retain=self.params.changelog_retain)
+        self.last_seen_primary_seq = self.log.seq
+        self.replication_skipped = 0
+        self.catch_ups = 0
+        self.catch_up_ops = 0
+        self.snapshot_fetches = 0
+        self._catching_up = False
         self.ref = self.runtime.export(_DatabaseServant(self), "Database")
         await self.register_objects([self.ref])
         await self.bind_as_replica("db-all", self.host.ip, self.ref,
                                    selector="sameserver")
-        self.binder = PrimaryBackupBinder(self, "svc/db", self.ref)
+        self.binder = PrimaryBackupBinder(self, "svc/db", self.ref,
+                                          on_demote=self._on_demote)
         self.spawn_task(self.binder.run(), name="db-binder").detach()
+        self.spawn_task(self._replication_poll(),
+                        name="db-repl-poll").detach()
+        # Pull whatever we missed while down before the first read hits.
+        self._schedule_catch_up()
+
+    @property
+    def is_primary(self) -> bool:
+        return self.binder.role == "primary"
+
+    @property
+    def epoch(self) -> tuple:
+        """This primary reign's identity: the process incarnation.
+
+        Entries appended by two different primaries carry different
+        epochs, so a diverged backup's cursor is detected on catch-up
+        instead of silently extending a forked history.
+        """
+        return tuple(self.process.incarnation)
 
     # -- storage on the host disk --------------------------------------
 
@@ -84,26 +137,240 @@ class DatabaseService(Service):
             rows[key] = value
         self._write_table(table, rows)
 
-    async def replicate_write(self, table: str, key: str, value: Any,
-                              deleted: bool, deadline=None) -> None:
-        """Push a write to every other db replica (hot-standby style)."""
+    # -- write path ------------------------------------------------------
+
+    async def write(self, table: str, key: str, value: Any, deleted: bool,
+                    deadline=None) -> int:
+        if self.is_primary:
+            return await self._primary_write(table, key, value, deleted,
+                                             deadline=deadline)
+        return await self._write_through(table, key, value, deleted,
+                                         deadline=deadline)
+
+    async def _primary_write(self, table: str, key: str, value: Any,
+                             deleted: bool, deadline=None) -> int:
+        self.apply_write(table, key, value, deleted)
+        op = ("write", table, key, value, deleted)
+        seq = self.log.append(op, self.epoch)
+        self.last_seen_primary_seq = seq
+        # The primary is the decision point for this row; replica
+        # applyUpdates ingests are fan-out copies of the same decision
+        # and do not emit.  Two primaries deciding unordered conflicting
+        # values is the split-brain write the hb race detector flags.
+        self.runtime.hb_write(f"db:{table}/{key}",
+                              ver="<deleted>" if deleted else repr(value))
+        await self._stream_to_replicas([(seq, self.epoch, op)],
+                                       deadline=deadline)
+        return seq
+
+    async def _write_through(self, table: str, key: str, value: Any,
+                             deleted: bool, deadline=None) -> int:
+        """Forward a write to the primary; ack once it streams back."""
         try:
-            peers = await self.names.list_repl("svc/db-all")
-        except (NamingError, ServiceUnavailable):
-            return
-        for member, _kind, ref in peers:
+            ref = await self.names.resolve("svc/db")
+        except (NamingError, ServiceUnavailable) as err:
+            raise ServiceUnavailable(f"no db primary bound: {err}") from err
+        if ref.ip == self.host.ip:
+            # The binding already points here (bind raced ahead of the
+            # binder's role flip): serve as primary.
+            return await self._primary_write(table, key, value, deleted,
+                                             deadline=deadline)
+        try:
+            seq = await self.runtime.invoke(
+                ref, "forwardWrite", (table, key, value, deleted),
+                timeout=self.params.call_timeout, deadline=deadline)
+        except NotPrimary as err:
+            # Stale binding: surface as retryable so the caller rebinds.
+            raise ServiceUnavailable(str(err)) from err
+        await self._await_seq(seq, deadline=deadline)
+        return seq
+
+    async def _await_seq(self, seq: int, deadline=None) -> None:
+        """Block until our log cursor reaches ``seq`` (the streamed-back
+        copy of a forwarded write), so the writer reads its own write
+        from this replica immediately after the ack."""
+        give_up = self.kernel.now + self.params.call_timeout
+        while self.log.seq < seq:
+            if deadline is not None and self.kernel.now >= deadline:
+                raise DeadlineExceeded(f"write-through ack for seq {seq}")
+            if self.kernel.now >= give_up:
+                raise ServiceUnavailable(
+                    f"change {seq} did not stream back to {self.host.ip}")
+            self._schedule_catch_up()
+            await self.kernel.sleep(0.1)
+
+    async def _stream_to_replicas(self, entries: List[tuple],
+                                  deadline=None) -> None:
+        """Push a change-log batch to every other db replica.
+
+        ``list_repl`` hiccups are retried on a backoff bounded by the
+        caller's deadline; only when the budget is spent is the write
+        acked with zero pushes -- and then the gap is *observable*
+        (``replication_skipped`` trace event + counter) instead of
+        silent, and the replicas repair from the log on their next
+        catch-up (ISSUE 7 satellite 1).
+        """
+        budget = 2 * self.params.call_timeout
+        if deadline is not None:
+            budget = max(0.0, min(budget, deadline - self.kernel.now))
+        backoff = self.retry_backoff(max_elapsed=budget)
+        while True:
+            try:
+                peers = await self.names.list_repl("svc/db-all")
+                break
+            except (NamingError, ServiceUnavailable):
+                delay = backoff.next_delay()
+                if delay <= 0 and backoff.exhausted:
+                    self.replication_skipped += 1
+                    self.emit("replication_skipped", seq=self.log.seq,
+                              reason="list_repl")
+                    return
+                await self.kernel.sleep(delay)
+        from_seq = entries[0][0] - 1
+        for _member, _kind, ref in peers:
             if ref is None or ref.ip == self.host.ip:
                 continue
             try:
-                await self.runtime.invoke(ref, "applyWrite",
-                                          (table, key, value, deleted),
+                await self.runtime.invoke(ref, "applyUpdates",
+                                          (from_seq, entries),
                                           timeout=self.params.call_timeout,
                                           deadline=deadline)
             except (ServiceUnavailable, DeadlineExceeded):
-                # A dead replica reloads from its disk + pushes; a spent
-                # deadline means the caller is gone -- remaining pushes
-                # fail fast on the same deadline check.
+                # A dead or lagging replica pulls the gap from the log
+                # when it comes back; a spent deadline means the caller
+                # is gone -- remaining pushes fail fast on the same
+                # deadline check.
                 continue
+
+    # -- replica ingest / catch-up ---------------------------------------
+
+    def on_apply_updates(self, from_seq: int, entries) -> None:
+        if entries:
+            tail = entries[-1][0]
+            if tail > self.last_seen_primary_seq:
+                self.last_seen_primary_seq = tail
+        if self.is_primary:
+            return  # stale push from a deposed primary; the bind race rules
+        if from_seq > self.log.seq:
+            self._schedule_catch_up()
+            return
+        for seq, epoch, op in entries:
+            if seq <= self.log.seq:
+                # Overlap: a duplicate delivery is fine, but a different
+                # reign's entry at a seq we already hold means our
+                # history forked -- resync from the primary.
+                known = self.log.epoch_at(seq)
+                if known is not None and tuple(known) != tuple(epoch):
+                    self._schedule_catch_up()
+                    return
+                continue
+            self._apply_entry(seq, epoch, tuple(op))
+
+    def _apply_entry(self, seq: int, epoch, op: tuple) -> None:
+        self.apply_write(op[1], op[2], op[3], op[4])
+        self.log.record(seq, tuple(epoch), op)
+
+    def _schedule_catch_up(self) -> None:
+        if self._catching_up:
+            return
+        self._catching_up = True
+        self.spawn_task(self._catch_up(), name="db-catch-up").detach()
+
+    async def _catch_up(self) -> None:
+        try:
+            await self._catch_up_once()
+        except (NamingError, ServiceUnavailable, DeadlineExceeded,
+                CancelledError):
+            pass
+        finally:
+            self._catching_up = False
+
+    async def _catch_up_once(self) -> None:
+        if self.is_primary:
+            return
+        ref = await self.names.resolve("svc/db")
+        if ref.ip == self.host.ip:
+            return
+        from_seq = self.log.seq
+        reply = await self.runtime.invoke(
+            ref, "fetchUpdates", (from_seq, self.log.epoch_at(from_seq)),
+            timeout=self.params.call_timeout)
+        if reply[0] == "ops":
+            applied = 0
+            for seq, epoch, op in reply[1]:
+                if seq <= self.log.seq:
+                    continue
+                self._apply_entry(seq, epoch, tuple(op))
+                applied += 1
+            if applied or from_seq < self.last_seen_primary_seq:
+                self.catch_ups += 1
+                self.catch_up_ops += applied
+                self.emit("catch_up", from_seq=from_seq, to_seq=self.log.seq,
+                          ops=applied)
+        else:
+            _tag, snap = reply
+            self._load_snapshot(snap)
+            self.snapshot_fetches += 1
+            self.emit("state_fetched", seq=snap["seq"])
+        if self.log.seq > self.last_seen_primary_seq:
+            self.last_seen_primary_seq = self.log.seq
+
+    # -- state transfer (snapshot fallback only) --------------------------
+
+    def serve_updates(self, from_seq: int, from_epoch):
+        entries = self.log.entries_from(from_seq, from_epoch)
+        if entries is not None:
+            return ("ops", entries)
+        return ("snapshot", self._snapshot())
+
+    def _snapshot(self) -> dict:
+        tables = {}
+        for disk_key in sorted(self.host.disk.keys()):
+            if disk_key.startswith(_DISK_PREFIX):
+                name = disk_key[len(_DISK_PREFIX):]
+                tables[name] = dict(self.host.disk.read(disk_key, {}))
+        return {"seq": self.log.seq,
+                "epoch": self.log.epoch_at(self.log.seq),
+                "digest": self.log.digest,
+                "tables": tables}
+
+    def _load_snapshot(self, snap: dict) -> None:
+        for disk_key in sorted(self.host.disk.keys()):
+            if disk_key.startswith(_DISK_PREFIX):
+                self.host.disk.delete(disk_key)
+        for table, rows in sorted(snap["tables"].items()):
+            self._write_table(table, dict(rows))
+        # Adopting the snapshot adopts the sender's digest at that seq,
+        # so the conformance oracle (equal digests <=> identical update
+        # histories) survives the fallback.
+        self.log.reset(snap["seq"], snap["epoch"], snap["digest"])
+
+    async def _replication_poll(self) -> None:
+        """Anti-entropy: poll the primary's log on a fixed cadence.
+
+        A push can be lost entirely (backup partitioned or down when the
+        write happened); without a poll the backup would stay behind
+        until the *next* write pushed to it.  The poll bounds that lag
+        at ``db_replication_poll`` regardless of write traffic -- the
+        bound ``replica_lag_bounded`` holds the cluster to.
+        """
+        while True:
+            await self.kernel.sleep(self.params.db_replication_poll)
+            if not self.is_primary:
+                self._schedule_catch_up()
+
+    def _on_demote(self) -> None:
+        # We may have appended writes nobody else saw while wrongly
+        # primary; the epoch check on the next catch-up detects the fork
+        # and resyncs.
+        self._schedule_catch_up()
+
+    # -- observability ----------------------------------------------------
+
+    def replication_gauges(self) -> dict:
+        """Lag gauges scraped into the SSC load-report batch (PR 7)."""
+        return {"repl_seq": self.log.seq,
+                "repl_lag": self.log.lag_behind(self.last_seen_primary_seq)}
 
 
 class _DatabaseServant:
@@ -114,20 +381,12 @@ class _DatabaseServant:
         return self._svc.get(table, key)
 
     async def put(self, ctx: CallContext, table: str, key: str, value: Any):
-        self._svc.apply_write(table, key, value, deleted=False)
-        # The primary is the decision point for this row; replica
-        # applyWrite pushes are copies of the same decision and do not
-        # emit.  Two primaries deciding unordered conflicting values is
-        # the split-brain write the hb race detector flags.
-        self._svc.runtime.hb_write(f"db:{table}/{key}", ver=repr(value))
-        await self._svc.replicate_write(table, key, value, deleted=False,
-                                        deadline=ctx.deadline)
+        return await self._svc.write(table, key, value, deleted=False,
+                                     deadline=ctx.deadline)
 
     async def delete(self, ctx: CallContext, table: str, key: str):
-        self._svc.apply_write(table, key, None, deleted=True)
-        self._svc.runtime.hb_write(f"db:{table}/{key}", ver="<deleted>")
-        await self._svc.replicate_write(table, key, None, deleted=True,
-                                        deadline=ctx.deadline)
+        return await self._svc.write(table, key, None, deleted=True,
+                                     deadline=ctx.deadline)
 
     async def scan(self, ctx: CallContext, table: str):
         return dict(self._svc._table(table))
@@ -137,9 +396,19 @@ class _DatabaseServant:
         return sorted(k[len(prefix):] for k in self._svc.host.disk.keys()
                       if k.startswith(prefix))
 
-    async def applyWrite(self, ctx: CallContext, table: str, key: str,
-                         value: Any, deleted: bool):
-        self._svc.apply_write(table, key, value, deleted)
+    async def applyUpdates(self, ctx: CallContext, from_seq: int, entries):
+        self._svc.on_apply_updates(from_seq, entries)
+
+    async def fetchUpdates(self, ctx: CallContext, from_seq: int,
+                           from_epoch):
+        return self._svc.serve_updates(from_seq, from_epoch)
+
+    async def forwardWrite(self, ctx: CallContext, table: str, key: str,
+                           value: Any, deleted: bool):
+        if not self._svc.is_primary:
+            raise NotPrimary(f"{self._svc.host.ip} is not the db primary")
+        return await self._svc._primary_write(table, key, value, deleted,
+                                              deadline=ctx.deadline)
 
 
 class DatabaseClient:

@@ -1,0 +1,80 @@
+"""Replication accounting: what the change-log shipping actually did.
+
+One collection surface shared by the chaos engine, the replication
+tests, and experiment E16, so they all report the same numbers the same
+way.  Like every other collector it only *reads* replica state
+(attachments, change-log cursors, counters) -- it must never perturb
+the run it measures.
+
+The load-bearing number is the per-group ``converged`` verdict: the
+change-log digest is a running hash chain over ``(seq, op)``, so two
+replicas holding the same digest applied the *same updates in the same
+order* -- a far stronger claim than matching sequence numbers.  A chaos
+run that quiesces with ``converged`` false on any group has hit exactly
+the silent replication gap PR 7 exists to close.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+def _replica_row(ip: str, seq: int, digest: str, svc) -> dict:
+    return {
+        "ip": ip,
+        "seq": seq,
+        "digest": digest,
+        "catch_ups": getattr(svc, "catch_ups", 0),
+        "catch_up_ops": getattr(svc, "catch_up_ops", 0),
+        "snapshot_fetches": getattr(svc, "snapshot_fetches", 0),
+    }
+
+
+def collect_replication(cluster) -> Dict[str, dict]:
+    """Aggregate replication state across one cluster run.
+
+    Returns one section per replicated service (``"ns"``, ``"db"``),
+    each with the per-replica rows (cursor, digest, catch-up counters),
+    the elected primary's ip, and the ``converged`` verdict: every live
+    replica's log digest equals the primary's.
+    """
+    out: Dict[str, dict] = {}
+    for kind in ("ns", "db"):
+        rows: List[dict] = []
+        primary_ip = None
+        for host in cluster.servers:
+            proc = host.find_process(kind)
+            if proc is None or not proc.alive:
+                continue
+            if kind == "ns":
+                replica = proc.attachments.get("ns_replica")
+                if replica is None:
+                    continue
+                rows.append(_replica_row(host.ip, replica.store.applied_seq,
+                                         replica.changelog.digest, replica))
+                if replica.is_master:
+                    primary_ip = host.ip
+            else:
+                svc = proc.attachments.get("service")
+                log = getattr(svc, "log", None)
+                if log is None:
+                    continue
+                rows.append(_replica_row(host.ip, log.seq, log.digest, svc))
+                if getattr(svc, "is_primary", False):
+                    primary_ip = host.ip
+        digests = {row["digest"] for row in rows}
+        out[kind] = {
+            "primary": primary_ip,
+            "replicas": rows,
+            "converged": len(digests) <= 1,
+            "catch_ups": sum(r["catch_ups"] for r in rows),
+            "catch_up_ops": sum(r["catch_up_ops"] for r in rows),
+            "snapshot_fetches": sum(r["snapshot_fetches"] for r in rows),
+        }
+    return out
+
+
+def all_converged(replication: Dict[str, dict]) -> bool:
+    """True when every replicated group quiesced with one log digest."""
+    return all(section.get("converged", False)
+               for section in replication.values())

@@ -105,7 +105,8 @@ def coalesce_gauges(gauges_by_service: dict) -> dict:
     re-deriving it.  Keys mirror :meth:`AdmissionGate.gauges`.
     """
     rollup = {"load": 0.0, "inflight": 0, "queue_depth": 0,
-              "shedding": False, "shed_count": 0, "services": 0}
+              "shedding": False, "shed_count": 0, "services": 0,
+              "repl_lag": 0}
     for name in sorted(gauges_by_service):
         g = gauges_by_service[name]
         rollup["load"] = max(rollup["load"], g.get("load", 0.0))
@@ -114,4 +115,7 @@ def coalesce_gauges(gauges_by_service: dict) -> dict:
         rollup["shedding"] = rollup["shedding"] or bool(g.get("shedding"))
         rollup["shed_count"] += g.get("shed_count", 0)
         rollup["services"] += 1
+        # Replicated services report their change-log lag (PR 7); the
+        # server-level number is the worst replica on this host.
+        rollup["repl_lag"] = max(rollup["repl_lag"], g.get("repl_lag", 0))
     return rollup

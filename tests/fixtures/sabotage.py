@@ -37,3 +37,32 @@ def broken_quorum():
         yield
     finally:
         NameReplicaProcess.quorum = original
+
+
+#: A benign schedule for the wedged-log sabotage: one service kill as
+#: realistic noise, nothing that touches the db replicas.  The viewer
+#: workload's own writes wedge the sabotaged backups immediately, so the
+#: long tail of the horizon is what lets ``replica_lag_bounded`` observe
+#: the cursor stuck past ``Params.replica_lag_bound``.
+WEDGED_LOG_SCHEDULE = FaultSchedule(faults=(
+    Fault(15.0, "kill_service", {"server": 1, "service": "mds"}),
+), horizon=120.0)
+
+
+@contextmanager
+def wedged_replica_log():
+    """db backups silently drop every replicated entry (PR 7 sabotage).
+
+    Recreates the pre-PR 7 failure shape: the primary acks writes, the
+    backups' change-log cursors never advance, and a promoted backup
+    would serve diverged data.  The ``replica_lag_bounded`` monitor must
+    notice; a monitor that stays quiet under this patch is not testing
+    anything.
+    """
+    from repro.db.service import DatabaseService
+    original = DatabaseService._apply_entry
+    DatabaseService._apply_entry = lambda self, seq, epoch, op: None
+    try:
+        yield
+    finally:
+        DatabaseService._apply_entry = original

@@ -1,6 +1,6 @@
 """P003 fixture: awaiting a reply the protocol says will never come."""
 
 
-async def caller(runtime, ref, update):
-    await runtime.invoke(ref, "applyUpdate", (1, update), timeout=3.0)  # 5: P003
-    runtime.invoke(ref, "applyUpdate", (1, update), timeout=3.0).detach()  # ok
+async def caller(runtime, ref, settop_ip):
+    await runtime.invoke(ref, "reportShutdown", (settop_ip,), timeout=3.0)  # 5: P003
+    runtime.invoke(ref, "reportShutdown", (settop_ip,), timeout=3.0).detach()  # ok

@@ -10,10 +10,10 @@ everything.
 
 
 async def replicate(runtime, ref, rows):
-    # Database.applyWrite takes (table, key, value, deleted): 4 args.
-    await runtime.invoke(ref, "applyWrite", ("t", "k", rows),
-                         timeout=3.0)                      # line 15: P002
-    await runtime.invoke(ref, "applyWrit", ("t", "k", rows, False),
-                         timeout=3.0)                      # line 17: P001
+    # Database.forwardWrite takes (table, key, value, deleted): 4 args.
+    await runtime.invoke(ref, "forwardWrite", ("t", "k", rows),
+                         timeout=3.0)                      # line 14: P002
+    await runtime.invoke(ref, "forwardWrit", ("t", "k", rows, False),
+                         timeout=3.0)                      # line 16: P001
     runtime.invoke(ref, "put", ("t", "k", rows), timeout=3.0) \
-        .detach()                                          # line 19-20: P004
+        .detach()                                          # line 18: P004

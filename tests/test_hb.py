@@ -146,20 +146,30 @@ class TestInstrumentedCluster:
         assert not any(ev.category == "hb" for ev in cluster.trace.events)
 
     def test_sabotage_dual_write_is_flagged(self):
-        """Falsifiability: a genuinely unordered conflicting dual-write
-        (two db replicas told different values concurrently, neither
-        reply awaited before the other send) must produce a race."""
+        """Falsifiability: two split-brain primaries deciding conflicting
+        values concurrently (neither reply awaited before the other
+        send) must produce a race.  Write-through proxying (PR 7) means
+        an honest cluster serializes every write through the one bound
+        primary, so the sabotage forces two replicas into believing
+        they each hold the primary role."""
         cluster = build_cluster(n_servers=3, seed=72,
                                 params=Params(hb_trace=True))
         client = cluster.client_on(cluster.servers[0], name="racer")
+        by_ip = {}
+        for host in cluster.servers:
+            proc = host.find_process("db")
+            if proc is not None:
+                by_ip[host.ip] = proc.attachments["service"]
 
         async def dual_write():
             peers = await client.names.list_repl("svc/db-all")
             refs = [ref for _m, _k, ref in peers if ref is not None]
             assert len(refs) >= 2
+            for ref in refs[:2]:
+                by_ip[ref.ip].binder.role = "primary"  # split-brain
             # invoke() returns a Future: both requests are on the wire
             # before either reply is awaited, so no reply edge orders
-            # the two servers' writes.
+            # the two primaries' writes.
             first = client.runtime.invoke(
                 refs[0], "put", ("race_t", "k", "A"), timeout=5.0)
             second = client.runtime.invoke(

@@ -43,11 +43,14 @@ class TestModelExtraction:
     def test_method_params_and_oneway(self):
         model = default_model()
         db = model.resolved_methods("Database")
-        assert tuple(db["applyWrite"].params) == \
+        assert tuple(db["forwardWrite"].params) == \
             ("table", "key", "value", "deleted")
-        assert not db["applyWrite"].oneway
+        assert not db["forwardWrite"].oneway
+        # The db change-log stream is acknowledged; the NS variant of the
+        # same method name is oneway -- the checker must hold both.
+        assert not db["applyUpdates"].oneway
         ns = model.resolved_methods("NameReplica")
-        assert ns["applyUpdate"].oneway
+        assert ns["applyUpdates"].oneway
         mgr = model.resolved_methods("SettopManager")
         assert mgr["reportShutdown"].oneway
 
