@@ -43,6 +43,18 @@ FAULT_KINDS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
     # slow_consumer: the named service's servants acquire ``lag`` seconds
     # of dequeue delay, so queues build and deadlines expire in-queue.
     "slow_consumer": (("server", "service", "lag"), ()),
+    # -- storage faults (PR 8) -------------------------------------------
+    # disk_lose_unsynced: switch the server's disk to write-barrier mode,
+    # so writes not followed by sync() evaporate at the next crash.
+    "disk_lose_unsynced": (("server",), ()),
+    # disk_torn_write: arm a one-shot torn write -- the next buffered key
+    # survives the next crash only as a CorruptBlob (partial sector).
+    "disk_torn_write": (("server",), ()),
+    # disk_corrupt: bit-rot the named durable key in place, immediately.
+    "disk_corrupt": (("server", "key"), ()),
+    # disk_wedge: every disk op raises DiskWedged until healed (or until
+    # ``duration`` seconds elapse, when given).
+    "disk_wedge": (("server",), ("duration",)),
 }
 
 

@@ -66,6 +66,11 @@ class FaultInjector:
         for runtime in self._lagged_runtimes:
             runtime.servant_lag = 0.0
         self._lagged_runtimes.clear()
+        # Un-wedge and disarm torn writes so verdict-time probes can run.
+        # Write barriers stay armed: buffered-but-unsynced state is part
+        # of what the durability monitor is judging.
+        for host in self.cluster.servers:
+            host.disk.heal()
 
     # -- process / node faults -------------------------------------------
 
@@ -245,6 +250,35 @@ class FaultInjector:
         runtime.servant_lag = lag
         if lag > 0:
             self._lagged_runtimes.append(runtime)
+
+    # -- storage faults (PR 8) --------------------------------------------
+
+    def _do_disk_lose_unsynced(self, fault: Fault) -> None:
+        """Writes stop being durable unless sync()ed (volatile write cache)."""
+        index = int(fault.args["server"])
+        self.cluster.servers[index].disk.write_barrier = True
+
+    def _do_disk_torn_write(self, fault: Fault) -> None:
+        """The next buffered key is torn (half-written) at the next crash."""
+        index = int(fault.args["server"])
+        self.cluster.servers[index].disk.arm_torn_write()
+
+    def _do_disk_corrupt(self, fault: Fault) -> None:
+        """Bit-rot one durable key in place (latent sector error)."""
+        index = int(fault.args["server"])
+        key = str(fault.args["key"])
+        self.cluster.servers[index].disk.corrupt(key)
+
+    def _do_disk_wedge(self, fault: Fault) -> None:
+        """Every disk op raises DiskWedged; auto-heals after ``duration``."""
+        index = int(fault.args["server"])
+        disk = self.cluster.servers[index].disk
+        disk.wedged = True
+        duration = fault.args.get("duration")
+        if duration is not None:
+            def unwedge() -> None:
+                disk.wedged = False
+            self.cluster.kernel.call_later(float(duration), unwedge)
 
     # -- helpers ----------------------------------------------------------
 

@@ -29,10 +29,16 @@ The catalog (DESIGN.md section 9):
   the gate's limits are never exceeded, only shed around (PR 4);
 - every NS/db replica's change-log cursor stays within
   ``Params.replica_lag_bound`` of its primary while live and connected,
-  and matches it exactly after the quiesce (PR 7).
+  and matches it exactly after the quiesce (PR 7);
+- every write a client saw acknowledged is readable after any
+  crash-and-recovery -- the durability contract the sync-before-ack
+  barrier exists to uphold (PR 8, falsifiable via
+  ``Params.ack_after_sync=False``).
 """
 
 from __future__ import annotations
+
+import copy
 
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -747,13 +753,156 @@ class ReplicaLagMonitor(Monitor):
         return out
 
 
+class DurabilityLedger:
+    """Side-channel record of every client-visible write acknowledgement.
+
+    The db primary and the NS master call :meth:`ack_db` / :meth:`ack_ns`
+    at the exact instant a writer would see success (after the
+    sync-before-ack barrier when ``Params.ack_after_sync`` is on, after
+    the *buffered* write when it is off -- the sabotage the durability
+    monitor must catch).  The ledger lives on the kernel, outside every
+    host, so crashes cannot lose it: it is the monitor's ground truth
+    for "the client was promised this".
+    """
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.db_acks: List[dict] = []
+        self.ns_acks: List[dict] = []
+
+    def ack_db(self, ip: str, epoch: tuple, seq: int, table: str,
+               key: str, value, deleted: bool) -> None:
+        self.db_acks.append({
+            "t": self.cluster.now, "ip": ip, "epoch": epoch, "seq": seq,
+            "table": table, "key": key, "value": copy.deepcopy(value),
+            "deleted": deleted,
+            # An ack issued across a partition may belong to a minority
+            # primary whose reign the heal erases; the monitor excuses it.
+            "partitioned": self.cluster.net.partitioned,
+        })
+
+    def ack_ns(self, ip: str, epoch: int, seq: int, op: tuple) -> None:
+        self.ns_acks.append({
+            "t": self.cluster.now, "ip": ip, "epoch": epoch, "seq": seq,
+            "op": copy.deepcopy(op),
+            "partitioned": self.cluster.net.partitioned,
+        })
+
+
+class DurabilityMonitor(Monitor):
+    """Every acked write is readable after any crash-and-recovery (PR 8).
+
+    The replication design is primary/backup, not consensus, so the
+    contract has a boundary: an ack is *binding* when the host that
+    issued it is still the settled primary after the quiesce (it kept or
+    reclaimed its role across any crash, so its durable image is the
+    authoritative one).  Acks from a deposed primary or from a reign cut
+    short by a partition are excused -- asynchronous fan-out means a
+    promoted backup may legitimately miss the deposed primary's tail,
+    and that loss is the known failover cost, not a storage bug.  What
+    is *never* excused is the crash-reclaim path: a primary that synced,
+    acked, crashed, and came back must still hold every acked value.
+    With ``Params.ack_after_sync=False`` the barrier is gone and this
+    monitor is what goes red -- the falsifiability check.
+
+    db rule: for the last ack per ``(table, key)`` from the current
+    primary's host on a connected network, the primary's durable table
+    must read exactly the acked value (or lack the key, for a delete).
+    NS rule: for every ack carried by the current master's reign
+    (``ack.epoch == master.epoch``), the master's change log must still
+    cover ``seq`` with that same epoch (or have compacted past it).
+    """
+
+    name = "durability"
+
+    def bind(self, cluster, injector, params, context) -> None:
+        super().bind(cluster, injector, params, context)
+        self.ledger = DurabilityLedger(cluster)
+        cluster.kernel.durability_ledger = self.ledger
+
+    def finish(self) -> List[Violation]:
+        return self._check_db() + self._check_ns()
+
+    def _check_db(self) -> List[Violation]:
+        primary = None
+        for host in self.cluster.servers:
+            proc = host.find_process("db")
+            if proc is None or not proc.alive:
+                continue
+            service = proc.attachments.get("service")
+            if service is not None and getattr(service, "is_primary", False):
+                if primary is not None:
+                    return []   # unsettled primaryship: nothing to judge
+                primary = service
+        if primary is None:
+            return []
+        last: Dict[tuple, dict] = {}
+        for ack in self.ledger.db_acks:
+            last[(ack["table"], ack["key"])] = ack
+        out: List[Violation] = []
+        disk = primary.host.disk
+        for (table, key), ack in sorted(last.items()):
+            if ack["partitioned"] or ack["ip"] != primary.host.ip:
+                continue
+            rows = disk.read("db/" + table, {})
+            if not isinstance(rows, dict):
+                out.append(self._violation(
+                    f"db table {table} unreadable on primary "
+                    f"{primary.host.ip}; acked write {key} (seq "
+                    f"{ack['seq']}) is gone"))
+                continue
+            if ack["deleted"]:
+                if key in rows:
+                    out.append(self._violation(
+                        f"db {table}/{key}: acked delete (seq {ack['seq']}) "
+                        f"resurrected as {rows[key]!r}"))
+            elif key not in rows:
+                out.append(self._violation(
+                    f"db {table}/{key}: acked write {ack['value']!r} "
+                    f"(seq {ack['seq']}) lost after recovery"))
+            elif rows[key] != ack["value"]:
+                out.append(self._violation(
+                    f"db {table}/{key}: acked value {ack['value']!r} "
+                    f"(seq {ack['seq']}) reads back {rows[key]!r}"))
+        return out
+
+    def _check_ns(self) -> List[Violation]:
+        master = None
+        for host in self.cluster.servers:
+            proc = host.find_process("ns")
+            if proc is None or not proc.alive:
+                continue
+            replica = proc.attachments.get("ns_replica")
+            if replica is not None and replica.is_master:
+                if master is not None:
+                    return []   # split mastership: ns_agreement's problem
+                master = replica
+        if master is None:
+            return []
+        out: List[Violation] = []
+        log = master.changelog
+        for ack in self.ledger.ns_acks:
+            if ack["partitioned"] or ack["epoch"] != master.epoch:
+                continue
+            seq = ack["seq"]
+            if seq <= log.base_seq:
+                continue   # compacted into the snapshot: durable
+            if log.epoch_at(seq) != ack["epoch"]:
+                out.append(self._violation(
+                    f"ns seq {seq} ({ack['op'][0]} {ack['op'][1]}): acked "
+                    f"in epoch {ack['epoch']} but the master log "
+                    f"{'ends at ' + str(log.seq) if seq > log.seq else 'holds another reign there'}"))
+        return out
+
+
 def default_monitors() -> List[Monitor]:
     """The full invariant catalog, fresh instances."""
     return [CscPrimaryMonitor(), NsAgreementMonitor(),
             AuditConvergenceMonitor(), CacheCoherenceMonitor(),
             SettopServiceMonitor(), FutureLeakMonitor(),
             ExpiredWorkMonitor(), QueueBoundMonitor(),
-            HbRaceMonitor(), ReplicaLagMonitor()]
+            HbRaceMonitor(), ReplicaLagMonitor(),
+            DurabilityMonitor()]
 
 
 class MonitorBus:

@@ -25,6 +25,10 @@ KILLABLE_SERVICES = ["mds", "rds", "mms", "cmgr", "vod", "shopping", "game",
 #: admission-gated ones with a known cheap probe operation (PR 4).
 SURGEABLE_SERVICES = ["vod", "shopping", "mms", "mds"]
 
+#: durable keys a generated disk_corrupt may bit-rot: the replication
+#: state the PR 8 recovery paths must survive losing (PR 8).
+DISK_FAULT_KEYS = ["dbrepl/changelog", "ns/changelog", "ns/state"]
+
 SCHEDULE_FORMAT_VERSION = 1
 
 
@@ -133,14 +137,14 @@ def generate_schedule(rng: SeededRandom, n_faults: int = 8,
     while len(faults) < n_faults:
         at = rng.uniform(lo, hi)
         roll = rng.random()
-        if roll < 0.40:
+        if roll < 0.36:
             faults.append(Fault(at, "kill_service", {
                 "server": rng.randint(0, n_servers - 1),
                 "service": rng.choice(services)}))
-        elif roll < 0.48:
+        elif roll < 0.44:
             faults.append(Fault(at, "kill_ssc",
                                 {"server": rng.randint(0, n_servers - 1)}))
-        elif roll < 0.58:
+        elif roll < 0.54:
             if crash_used:
                 continue
             crash_used = True
@@ -148,7 +152,7 @@ def generate_schedule(rng: SeededRandom, n_faults: int = 8,
             back = min(at + rng.uniform(20.0, 50.0), hi)
             faults.append(Fault(at, "crash_server", {"server": server}))
             faults.append(Fault(back, "reboot_server", {"server": server}))
-        elif roll < 0.70:
+        elif roll < 0.64:
             if partition_used:
                 continue
             partition_used = True
@@ -158,33 +162,50 @@ def generate_schedule(rng: SeededRandom, n_faults: int = 8,
             faults.append(Fault(at, "partition", {"servers_a": [isolated],
                                                   "servers_b": others}))
             faults.append(Fault(heal_at, "heal", {}))
-        elif roll < 0.76:
+        elif roll < 0.69:
             faults.append(Fault(at, "loss", {
                 "target": _pick_target(rng, n_servers, n_settops),
                 "probability": round(rng.uniform(0.05, 0.25), 3)}))
-        elif roll < 0.81:
+        elif roll < 0.73:
             faults.append(Fault(at, "delay", {
                 "target": _pick_target(rng, n_servers, n_settops),
                 "extra": round(rng.uniform(0.2, 1.0), 3)}))
-        elif roll < 0.86:
+        elif roll < 0.77:
             faults.append(Fault(at, "duplicate", {
                 "target": _pick_target(rng, n_servers, n_settops),
                 "probability": round(rng.uniform(0.1, 0.5), 3)}))
-        elif roll < 0.91:
+        elif roll < 0.81:
             faults.append(Fault(at, "gray", {
                 "server": rng.randint(0, n_servers - 1),
                 "reply_lag": round(rng.uniform(0.3, 1.5), 3)}))
-        elif roll < 0.96:
+        elif roll < 0.85:
             # Flash crowd against an overload-aware service (PR 4).
             faults.append(Fault(at, "load_surge", {
                 "service": rng.choice(SURGEABLE_SERVICES),
                 "calls": rng.randint(50, 300),
                 "duration": round(rng.uniform(5.0, 20.0), 1)}))
-        else:
+        elif roll < 0.88:
             faults.append(Fault(at, "slow_consumer", {
                 "server": rng.randint(0, n_servers - 1),
                 "service": rng.choice(SURGEABLE_SERVICES),
                 "lag": round(rng.uniform(0.2, 2.0), 3)}))
+        # -- storage faults (PR 8) --------------------------------------
+        elif roll < 0.91:
+            faults.append(Fault(at, "disk_lose_unsynced",
+                                {"server": rng.randint(0, n_servers - 1)}))
+        elif roll < 0.94:
+            faults.append(Fault(at, "disk_torn_write",
+                                {"server": rng.randint(0, n_servers - 1)}))
+        elif roll < 0.97:
+            faults.append(Fault(at, "disk_corrupt", {
+                "server": rng.randint(0, n_servers - 1),
+                "key": rng.choice(DISK_FAULT_KEYS)}))
+        else:
+            # Bounded wedge: the duration guarantees self-heal, so a
+            # random schedule stays survivable (generation invariant).
+            faults.append(Fault(at, "disk_wedge", {
+                "server": rng.randint(0, n_servers - 1),
+                "duration": round(rng.uniform(10.0, 30.0), 1)}))
     return FaultSchedule(faults=tuple(faults), horizon=horizon)
 
 

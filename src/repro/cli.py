@@ -205,6 +205,14 @@ def _cmd_chaos(args) -> int:
                   f"catch_ups={repl['catch_ups']} "
                   f"ops={repl['catch_up_ops']} "
                   f"snapshot_fetches={repl['snapshot_fetches']}")
+        from repro.metrics.disks import total as disk_total
+        lost = disk_total(result.disks, "lost_writes")
+        torn = disk_total(result.disks, "torn_writes")
+        rot = disk_total(result.disks, "corrupted_keys")
+        if lost or torn or rot:
+            print(f"  disks: lost_writes={lost} torn_writes={torn} "
+                  f"corrupted_keys={rot} "
+                  f"syncs={disk_total(result.disks, 'syncs')}")
         if args.double_run:
             if results[1].digest != result.digest:
                 print(f"  DETERMINISM VIOLATION: re-run digest "

@@ -78,6 +78,10 @@ class Cluster:
         for i in range(n_servers):
             host = Host(self.kernel, f"server-{i}")
             self.net.attach(host, server_ip(i))
+            # Like hb_trace above: every disk keeps its PR-7 behavior
+            # (writes durable immediately) unless the run opts into the
+            # crash-consistency fault model.
+            host.disk.write_barrier = self.params.disk_write_barrier
             self.servers.append(host)
         self.server_ips = [h.ip for h in self.servers]
 
@@ -130,6 +134,10 @@ class Cluster:
                 "placement": placement,
                 "neighborhoods_by_server": self.neighborhoods_by_server,
             })
+            # Factory image: build-time seeds (keytabs, config, media
+            # catalogs) are durable even when the run's fault model
+            # buffers runtime writes behind the write barrier.
+            host.disk.sync()
 
     # ------------------------------------------------------------------
     # time control

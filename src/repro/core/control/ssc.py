@@ -83,6 +83,9 @@ class ServerServiceController:
         self._objects_by_pid: Dict[int, List[ObjectRef]] = {}
         self._pid_to_name: Dict[int, str] = {}
         self._callbacks: List[ObjectRef] = []
+        # Services whose replication gauges last raised (wedged disk):
+        # tracked so the stale transition is emitted once, not per scrape.
+        self._stale_gauges: set = set()
         self._name_client = NameClient(self.runtime, env.ns_ip, env.params)
         self.base_services = list(base_services or [])
         self.process.create_task(self._startup(), name="ssc-startup").detach()
@@ -233,7 +236,20 @@ class ServerServiceController:
                 report.update(gate.gauges())
             repl_gauges = getattr(service, "replication_gauges", None)
             if repl_gauges is not None:
-                report.update(repl_gauges())
+                # A wedged replica disk must not wedge the whole batch:
+                # the scrape is in-process (already bounded -- only the
+                # batch *sends* below cross the wire, under their own
+                # call deadlines), so the one failure mode is a raise,
+                # which we convert into a gauges_stale transition and a
+                # report that simply omits this service's repl gauges.
+                try:
+                    report.update(repl_gauges())
+                except Exception:  # noqa: BLE001 - DiskWedged et al.
+                    if name not in self._stale_gauges:
+                        self._stale_gauges.add(name)
+                        self.env.emit("ssc", "gauges_stale", service=name)
+                else:
+                    self._stale_gauges.discard(name)
             if not report:
                 continue
             reports[name] = report

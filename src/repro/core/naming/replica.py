@@ -16,6 +16,7 @@ every ``Params.ns_audit_poll`` seconds (section 9.7).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Dict, List, Optional, Tuple
 
 import repro.core.naming.interfaces  # noqa: F401 - registers IDL types
@@ -30,14 +31,14 @@ from repro.core.naming.errors import (
 from repro.core.naming.selectors import SelectorState, run_builtin
 from repro.core.naming.store import SELECTOR_NAME, NameStore, join_name, split_name
 from repro.core.params import Params
-from repro.core.replication import ChangeLog
+from repro.core.replication import GENESIS_EPOCH, ChangeLog, atomic_disk_write
 from repro.idl import lookup_interface
 from repro.net.network import Network
 from repro.ocs.exceptions import ServiceUnavailable
 from repro.ocs.objref import ANY_INCARNATION, ObjectRef
 from repro.ocs.runtime import CallContext, OCSRuntime
 from repro.sim.errors import CancelledError
-from repro.sim.host import Host, Process
+from repro.sim.host import DiskWedged, Host, Process
 from repro.sim.kernel import Semaphore, gather
 from repro.sim.rand import SeededRandom, stable_seed
 from repro.sim.trace import TraceLog
@@ -52,6 +53,23 @@ RESOLVE_CPU_SECONDS = 0.0005
 
 def _context_oid(path: str) -> str:
     return ROOT_OID if path == "" else f"ctx:{path}"
+
+
+#: on-disk key of the persisted name-tree snapshot (plus the write-swap
+#: spare that atomic_disk_write maintains next to it)
+SNAPSHOT_KEY = "ns/state"
+
+
+def _snapshot_sum(wrapper: dict) -> str:
+    """Integrity checksum over a persisted snapshot wrapper.
+
+    Covers the tree snapshot plus the change-log anchor (epoch, digest)
+    stored beside it, so a torn or bit-rotten ``ns/state`` is detected
+    on restore instead of loaded as truth.
+    """
+    return hashlib.sha256(
+        f"{wrapper.get('snap')!r}|{wrapper.get('epoch')!r}"
+        f"|{wrapper.get('digest')}".encode()).hexdigest()[:16]
 
 
 class NameReplicaProcess:
@@ -360,6 +378,10 @@ class NameReplicaProcess:
         self.store.apply_numbered(seq, op)
         log_seq = self.changelog.append(op, self.epoch)
         assert log_seq == seq, f"store/log desync: {seq} vs {log_seq}"
+        if self.params.ack_after_sync:
+            # Durability barrier: the entry is durable before the caller
+            # sees an ack or a slave sees the pushed copy.
+            self.process.host.disk.sync()
         self.updates_applied += 1
         self._sync_context_exports()
         self._emit("update", seq=seq, op=op[0], path=op[1])
@@ -380,6 +402,9 @@ class NameReplicaProcess:
                 self.runtime.invoke(self.peer_replica_ref(peer),
                                     "applyUpdates", (seq - 1, [entry]),
                                     timeout=self.params.call_timeout).detach()
+        ledger = self.kernel.durability_ledger
+        if ledger is not None:
+            ledger.ack_ns(self.ip, self.epoch, seq, op)
         return seq
 
     def _ingest(self, seq: int, epoch, op: tuple) -> None:
@@ -436,20 +461,78 @@ class NameReplicaProcess:
 
         Fired by change-log compaction (and snapshot adoption): boot
         restores the snapshot, then replays the retained log tail, so
-        truncation never loses restart coverage.
+        truncation never loses restart coverage.  The wrapper carries
+        the change-log anchor (epoch + digest at the snapshot's seq) and
+        a checksum, and lands via write-new-then-swap, so a recovery
+        whose log came back corrupt can re-anchor the log at the
+        snapshot's cursor -- and a torn snapshot is detected, not loaded.
         """
-        self.process.host.disk.write("ns/state", self.store.snapshot())
+        wrapper = {
+            "snap": self.store.snapshot(),
+            "epoch": self.changelog.epoch_at(self.changelog.seq),
+            "digest": self.changelog.digest,
+        }
+        wrapper["sum"] = _snapshot_sum(wrapper)
+        atomic_disk_write(self.process.host.disk, SNAPSHOT_KEY, wrapper)
+
+    def _load_snapshot_wrapper(self) -> Tuple[Optional[dict], bool]:
+        """Read back the persisted snapshot, preferring the main copy.
+
+        Returns ``(wrapper or None, saw_garbage)``: a checksum-failing
+        copy is skipped (torn write / bit rot), and the write-swap spare
+        is consulted before giving up.
+        """
+        saw_garbage = False
+        for key in (SNAPSHOT_KEY, SNAPSHOT_KEY + ".new"):
+            wrapper = self.process.host.disk.read(key)
+            if wrapper is None:
+                continue
+            if (isinstance(wrapper, dict)
+                    and isinstance(wrapper.get("snap"), dict)
+                    and isinstance(wrapper.get("digest"), str)
+                    and wrapper.get("sum") == _snapshot_sum(wrapper)):
+                return wrapper, saw_garbage
+            saw_garbage = True
+        return None, saw_garbage
 
     def _restore_from_disk(self) -> None:
-        """Online bootstrap: resume from the persisted snapshot + log."""
-        snap = self.process.host.disk.read("ns/state")
-        if snap is not None and snap["seq"] > self.store.applied_seq:
-            self.store.load_snapshot(snap)
+        """Online bootstrap: resume from the persisted snapshot + log.
+
+        Both artifacts may have come back damaged (PR 8 storage fault
+        model); whatever survives is reconciled into a consistent
+        (store, log) pair and the rest is repaired from a peer via the
+        normal catch-up -- never a crash, never silent divergence.
+        """
+        wrapper, snap_corrupt = self._load_snapshot_wrapper()
+        log_corrupt = (self.changelog.recovered_corrupt
+                       or bool(self.changelog.recovered_truncated))
+        if wrapper is not None:
+            snap = wrapper["snap"]
+            if snap["seq"] > self.store.applied_seq:
+                self.store.load_snapshot(snap)
+        elif snap_corrupt and self.changelog.base_seq > 0:
+            # The snapshot is garbage and the log alone cannot rebuild
+            # the prefix below its compaction watermark: drop the cursor
+            # to zero so the next catch-up takes a full peer snapshot.
+            self.changelog.reset(0, GENESIS_EPOCH, "")
         for seq, _epoch, op in self.changelog.entries:
             try:
                 self.store.apply_numbered(seq, op)
-            except ValueError:  # pragma: no cover - snapshot/log desync
+            except ValueError:
+                # Tail starts above the snapshot's seq (the snapshot we
+                # restored predates the log's compaction watermark).
                 break
+        if self.changelog.seq != self.store.applied_seq and wrapper is not None:
+            # The log came back truncated/garbled out of step with the
+            # snapshot: re-anchor it at the snapshot's cursor so the
+            # next append numbers entries in agreement with the store.
+            self.changelog.reset(wrapper["snap"]["seq"], wrapper["epoch"],
+                                 wrapper["digest"])
+        if snap_corrupt or log_corrupt:
+            self._emit("restore_corrupt", snapshot=bool(snap_corrupt),
+                       log_truncated=self.changelog.recovered_truncated,
+                       seq=self.store.applied_seq)
+            self._schedule_catch_up()
         if self.store.applied_seq:
             self._emit("restored", seq=self.store.applied_seq)
 
@@ -462,7 +545,9 @@ class NameReplicaProcess:
     async def _catch_up(self) -> None:
         try:
             await self._catch_up_from(self.master_ip)
-        except (ServiceUnavailable, CancelledError):
+        except (ServiceUnavailable, CancelledError, DiskWedged):
+            # DiskWedged: our own log cannot record right now; the next
+            # heartbeat re-triggers the catch-up once the disk heals.
             pass
         finally:
             self._catching_up = False
@@ -571,7 +656,7 @@ class NameReplicaProcess:
             if best_peer is not None:
                 try:
                     await self._catch_up_from(best_peer, timeout=2.0)
-                except ServiceUnavailable:
+                except (ServiceUnavailable, DiskWedged):
                     pass
             if self.epoch != epoch or self.role != "candidate":
                 return
@@ -686,6 +771,12 @@ class NameReplicaProcess:
 
     def replication_gauges(self) -> dict:
         """Lag gauges scraped into the SSC load-report batch (PR 7)."""
+        if self.process.host.disk.wedged:
+            # Refuse to vouch for a cursor the wedged storage cannot
+            # back; the SSC scrape survives the raise and flags the
+            # gauges stale.
+            raise DiskWedged(f"ns gauges unavailable: disk wedged "
+                             f"on {self.ip}")
         return {"repl_seq": self.store.applied_seq,
                 "repl_lag": self.changelog.lag_behind(self.last_master_seq)}
 
@@ -722,7 +813,9 @@ class NameReplicaProcess:
                     self._master_apply(("unbind", path))
                     self.audit_removals += 1
                     self._emit("audit_removed", path=path)
-                except NamingError:
+                except (NamingError, DiskWedged):
+                    # DiskWedged: the audit loop must survive a wedged
+                    # local log; the removal retries next cycle.
                     pass
 
     async def _check_status(self, refs: List[ObjectRef]) -> Optional[List[str]]:

@@ -112,6 +112,22 @@ class Params:
     # cover one anti-entropy poll plus the catch-up RPC with slack.
     replica_lag_bound: float = 30.0
 
+    # -- storage fault model (PR 8, repro.sim.host.Disk) -------------------
+    # Arm the write barrier on every host disk at build time: writes
+    # buffer until sync() and a host crash drops the unsynced buffer
+    # (power-failure semantics).  Off by default: the barrier itself
+    # emits nothing, but golden-digest runs should exercise the same
+    # always-durable storage they were recorded against.  Chaos
+    # schedules usually arm it per-disk via the disk_lose_unsynced /
+    # disk_torn_write faults instead of flipping this globally.
+    disk_write_barrier: bool = False
+    # Primaries/masters sync() their change log to the durable image
+    # *before* acknowledging a write.  This is the durability monitor's
+    # falsifiability knob: with the barrier armed and this off, a crash
+    # of the acking primary loses acknowledged writes and the monitor
+    # must fire (tests/fixtures/sabotage.py).
+    ack_after_sync: bool = True
+
     # -- chaos engine (repro.chaos) ---------------------------------------
     chaos_monitor_interval: float = 5.0    # invariant-monitor probe cadence
     chaos_audit_slack: float = 45.0        # grace beyond the audit polls

@@ -27,6 +27,7 @@ import hashlib
 from typing import Any, Awaitable, Callable, List, Optional, Tuple
 
 from repro.idl import register_exception
+from repro.ocs.exceptions import DiskWedged as RetryableDiskWedged
 from repro.ocs.exceptions import ServiceUnavailable
 from repro.ocs.objref import ObjectRef
 
@@ -42,6 +43,14 @@ class NotPrimary(Exception):
     re-resolves the primary binding.
     """
 
+
+# A servant whose storage raises the sim-level DiskWedged marshals it by
+# class *name*; registering the OCS ServiceUnavailable subclass of the
+# same name means the caller materialises a retryable unavailability and
+# rebinds at another replica instead of surfacing a storage internals
+# error (PR 8 storage fault model).
+register_exception(RetryableDiskWedged)
+
 # (seq, epoch, op): epoch identifies the reign that appended the entry --
 # the NS election epoch (int) or the db primary's process incarnation
 # (tuple).  Two logs sharing (seq, epoch) share the whole prefix up to
@@ -56,6 +65,43 @@ def _chain_digest(digest: str, seq: int, op: tuple) -> str:
     """Fold one applied op into the running change-log digest."""
     return hashlib.sha256(
         f"{digest}|{seq}|{op!r}".encode()).hexdigest()
+
+
+#: hex chars kept per entry checksum: 64 bits of integrity, enough to
+#: make a torn/garbled entry's survival odds negligible while keeping
+#: the persisted log compact.
+_SUM_WIDTH = 16
+
+
+def _entry_sum(prev: str, seq: int, epoch, op: tuple) -> str:
+    """Per-entry integrity checksum, chained from the previous entry's.
+
+    Unlike :func:`_chain_digest` (the cross-replica history oracle, which
+    deliberately excludes the epoch so snapshot adopters agree), this sum
+    covers everything persisted for the entry -- seq, epoch, op -- so a
+    recovery scan can prove a prefix of the on-disk log intact and
+    truncate the rest.
+    """
+    return hashlib.sha256(
+        f"{prev}|{seq}|{epoch!r}|{op!r}".encode()).hexdigest()[:_SUM_WIDTH]
+
+
+def atomic_disk_write(disk, key: str, value) -> None:
+    """Write-new-then-swap: a crash can tear at most one of two copies.
+
+    Write the spare (``<key>.new``), sync, write the main copy, sync,
+    drop the spare.  Whatever instant a power failure hits, at least one
+    durable, checksum-valid copy exists: readers prefer the main copy
+    and fall back to the spare (see ``ChangeLog._load_state``).  With
+    the write barrier off the syncs are counted no-ops and the dance
+    degrades to a plain (still atomic) write.
+    """
+    spare = key + ".new"
+    disk.write(spare, value)
+    disk.sync()
+    disk.write(key, value)
+    disk.sync()
+    disk.delete(spare)
 
 
 class ChangeLog:
@@ -79,6 +125,13 @@ class ChangeLog:
     op)``.  A replica that adopts a snapshot adopts the sender's digest
     at that seq, so at quiesce equal digests mean byte-identical update
     histories -- the cross-replica conformance oracle.
+
+    Against the PR 8 storage fault model the log defends itself: every
+    persisted entry carries a chained checksum (``_entry_sum``), reopen
+    validates the chain and truncates to the last valid prefix
+    (``recovered_truncated``), unreadable garbage falls back to the
+    write-swap spare and then to an empty log (``recovered_corrupt``),
+    and log-shrinking writes go through :func:`atomic_disk_write`.
     """
 
     def __init__(self, disk, disk_key: str, retain: int = 512,
@@ -87,21 +140,95 @@ class ChangeLog:
         self.disk_key = disk_key
         self.retain = max(1, retain)
         self.on_compact = on_compact
-        state = disk.read(disk_key)
-        if state is None:
-            self.entries: List[LogEntry] = []
-            self.seq = 0
-            self.base_seq = 0
-            self.base_epoch = GENESIS_EPOCH
-            self.digest = ""
-            self.compactions = 0
-        else:
-            self.entries = [tuple(e) for e in state["entries"]]
-            self.seq = state["seq"]
-            self.base_seq = state["base_seq"]
-            self.base_epoch = state["base_epoch"]
-            self.digest = state["digest"]
-            self.compactions = state["compactions"]
+        #: recovery report for the owner: the persisted log (and its
+        #: swap spare) was unusable garbage / how many tail entries the
+        #: checksum scan truncated.  Owners emit ``restore_corrupt`` and
+        #: fall back to peer catch-up when either is set.
+        self.recovered_corrupt = False
+        self.recovered_truncated = 0
+        self.entries: List[LogEntry] = []
+        self._sums: List[str] = []
+        self.seq = 0
+        self.base_seq = 0
+        self.base_epoch = GENESIS_EPOCH
+        self.base_digest = ""
+        self.base_sum = ""
+        self.digest = ""
+        self.compactions = 0
+        state = self._load_state()
+        if state is not None:
+            self._recover(state)
+
+    # -- crash recovery ------------------------------------------------
+
+    def _load_state(self):
+        """Prefer the main copy; fall back to the write-swap spare."""
+        main = self.disk.read(self.disk_key)
+        if self._state_shape_ok(main):
+            return main
+        if main is not None:
+            self.recovered_corrupt = True
+        spare = self.disk.read(self.disk_key + ".new")
+        if self._state_shape_ok(spare):
+            return spare
+        if spare is not None:
+            self.recovered_corrupt = True
+        return None
+
+    @staticmethod
+    def _state_shape_ok(state) -> bool:
+        if not isinstance(state, dict):
+            return False
+        return (all(isinstance(state.get(k), int)
+                    for k in ("seq", "base_seq", "compactions"))
+                and all(isinstance(state.get(k), str)
+                        for k in ("digest", "base_digest", "base_sum"))
+                and isinstance(state.get("entries"), list)
+                and "base_epoch" in state)
+
+    def _recover(self, state) -> None:
+        """Adopt the longest self-consistent prefix of the on-disk log.
+
+        Entries are validated in order against the checksum chain rooted
+        at ``base_sum``; the first torn/garbled/mis-numbered entry and
+        everything after it are truncated (they were never synced, so by
+        the sync-before-ack discipline nothing acknowledged is lost).
+        The running digest is rebuilt from ``base_digest`` over the
+        surviving prefix rather than trusted from the (possibly stale)
+        persisted scalar.
+        """
+        self.base_seq = state["base_seq"]
+        self.base_epoch = state["base_epoch"]
+        self.base_digest = state["base_digest"]
+        self.base_sum = state["base_sum"]
+        self.compactions = state["compactions"]
+        seq, digest, prev_sum = self.base_seq, self.base_digest, self.base_sum
+        entries: List[LogEntry] = []
+        sums: List[str] = []
+        raw = state["entries"]
+        dropped = 0
+        for i, item in enumerate(raw):
+            ok = (isinstance(item, (list, tuple)) and len(item) == 4
+                  and item[0] == seq + 1)
+            if ok:
+                e_seq, e_epoch, e_op, e_sum = item
+                ok = (isinstance(e_op, tuple)
+                      and e_sum == _entry_sum(prev_sum, e_seq, e_epoch, e_op))
+            if not ok:
+                dropped = len(raw) - i
+                break
+            entries.append((e_seq, e_epoch, e_op))
+            sums.append(e_sum)
+            seq = e_seq
+            digest = _chain_digest(digest, e_seq, e_op)
+            prev_sum = e_sum
+        self.entries = entries
+        self._sums = sums
+        self.seq = seq
+        self.digest = digest
+        self.recovered_truncated = dropped
+        if dropped:
+            self._persist(swap=True)
 
     # -- mutation ------------------------------------------------------
 
@@ -125,38 +252,65 @@ class ChangeLog:
         return True
 
     def _add(self, seq: int, epoch, op: tuple) -> None:
+        prev_sum = self._sums[-1] if self._sums else self.base_sum
         self.entries.append((seq, epoch, op))
+        self._sums.append(_entry_sum(prev_sum, seq, epoch, op))
         self.seq = seq
         self.digest = _chain_digest(self.digest, seq, op)
+        compacted = False
         if len(self.entries) > self.retain:
             cut = len(self.entries) - self.retain
+            # The base digest/sum advance over the dropped entries so a
+            # recovery scan can re-anchor the chains at the new watermark.
+            for d_seq, _d_epoch, d_op in self.entries[:cut]:
+                self.base_digest = _chain_digest(self.base_digest, d_seq, d_op)
+            self.base_sum = self._sums[cut - 1]
             last_dropped = self.entries[cut - 1]
             del self.entries[:cut]
+            del self._sums[:cut]
             self.base_seq = last_dropped[0]
             self.base_epoch = last_dropped[1]
             self.compactions += 1
+            compacted = True
+            # Hook fires BEFORE the truncated log is persisted: a crash
+            # inside (or right after) the owner's snapshot write leaves
+            # the pre-compaction log on disk, so no state is lost -- the
+            # truncation and the snapshot commit together or not at all.
             if self.on_compact is not None:
                 self.on_compact()
-        self._persist()
+        self._persist(swap=compacted)
 
     def reset(self, seq: int, epoch, digest: str) -> None:
         """Adopt a snapshot: the log restarts empty at the sender's seq."""
         self.entries = []
+        self._sums = []
         self.seq = seq
         self.base_seq = seq
         self.base_epoch = epoch
+        self.base_digest = digest
+        self.base_sum = ""
         self.digest = digest
-        self._persist()
+        self._persist(swap=True)
 
-    def _persist(self) -> None:
-        self.disk.write(self.disk_key, {
-            "entries": list(self.entries),
+    def _persist(self, swap: bool = False) -> None:
+        state = {
+            "entries": [(s, e, o, c)
+                        for (s, e, o), c in zip(self.entries, self._sums)],
             "seq": self.seq,
             "base_seq": self.base_seq,
             "base_epoch": self.base_epoch,
+            "base_digest": self.base_digest,
+            "base_sum": self.base_sum,
             "digest": self.digest,
             "compactions": self.compactions,
-        })
+        }
+        if swap:
+            # Compactions and snapshot adoptions are the writes that
+            # *shrink* the log -- the only writes where a torn copy
+            # could lose both the old and the new state.
+            atomic_disk_write(self.disk, self.disk_key, state)
+        else:
+            self.disk.write(self.disk_key, state)
 
     # -- queries -------------------------------------------------------
 

@@ -35,6 +35,7 @@ from repro.ocs.exceptions import DeadlineExceeded, ServiceUnavailable
 from repro.ocs.runtime import CallContext
 from repro.services.base import Service
 from repro.sim.errors import CancelledError
+from repro.sim.host import DiskWedged
 
 register_interface("Database", {
     "get": ("table", "key"),
@@ -88,6 +89,15 @@ class DatabaseService(Service):
         self.catch_up_ops = 0
         self.snapshot_fetches = 0
         self._catching_up = False
+        self._force_snapshot = False
+        self._corrupt_tables: set = set()
+        if self.log.recovered_corrupt or self.log.recovered_truncated:
+            # The on-disk log came back torn or garbled; the checksum
+            # scan kept the valid prefix and the catch-up scheduled
+            # below pulls the rest from a peer instead of crashing.
+            self.emit("restore_corrupt", what="changelog",
+                      truncated=self.log.recovered_truncated,
+                      seq=self.log.seq)
         self.ref = self.runtime.export(_DatabaseServant(self), "Database")
         await self.register_objects([self.ref])
         await self.bind_as_replica("db-all", self.host.ip, self.ref,
@@ -117,7 +127,20 @@ class DatabaseService(Service):
     # -- storage on the host disk --------------------------------------
 
     def _table(self, table: str) -> Dict[str, Any]:
-        return self.host.disk.read(_DISK_PREFIX + table, {})
+        rows = self.host.disk.read(_DISK_PREFIX + table, {})
+        if not isinstance(rows, dict):
+            # Bit rot or a torn write landed under this table.  Serve an
+            # empty table rather than garbage; a backup drops its cursor
+            # and resyncs the real rows from the primary's snapshot.
+            if table not in self._corrupt_tables:
+                self._corrupt_tables.add(table)
+                self.emit("restore_corrupt", what=f"table:{table}")
+            self.host.disk.delete(_DISK_PREFIX + table)
+            if not self.is_primary:
+                self._force_snapshot = True
+                self._schedule_catch_up()
+            return {}
+        return rows
 
     def _write_table(self, table: str, rows: Dict[str, Any]) -> None:
         self.host.disk.write(_DISK_PREFIX + table, rows)
@@ -153,6 +176,12 @@ class DatabaseService(Service):
         op = ("write", table, key, value, deleted)
         seq = self.log.append(op, self.epoch)
         self.last_seen_primary_seq = seq
+        if self.params.ack_after_sync:
+            # Durability barrier: the log entry and the table row hit
+            # the durable image before any copy leaves this host or the
+            # writer sees an ack.  A replica can therefore never hold a
+            # streamed entry that a crashed-and-recovered primary lacks.
+            self.host.disk.sync()
         # The primary is the decision point for this row; replica
         # applyUpdates ingests are fan-out copies of the same decision
         # and do not emit.  Two primaries deciding unordered conflicting
@@ -161,6 +190,10 @@ class DatabaseService(Service):
                               ver="<deleted>" if deleted else repr(value))
         await self._stream_to_replicas([(seq, self.epoch, op)],
                                        deadline=deadline)
+        ledger = self.kernel.durability_ledger
+        if ledger is not None:
+            ledger.ack_db(self.host.ip, self.epoch, seq,
+                          table, key, value, deleted)
         return seq
 
     async def _write_through(self, table: str, key: str, value: Any,
@@ -280,7 +313,9 @@ class DatabaseService(Service):
         try:
             await self._catch_up_once()
         except (NamingError, ServiceUnavailable, DeadlineExceeded,
-                CancelledError):
+                CancelledError, DiskWedged):
+            # DiskWedged: our own storage is wedged; retry on the next
+            # anti-entropy poll once the chaos layer heals the disk.
             pass
         finally:
             self._catching_up = False
@@ -292,8 +327,14 @@ class DatabaseService(Service):
         if ref.ip == self.host.ip:
             return
         from_seq = self.log.seq
+        from_epoch = self.log.epoch_at(from_seq)
+        if self._force_snapshot:
+            # A corrupt table blob can only be repaired wholesale: ask
+            # with a deliberately mismatched cursor so the primary's
+            # entries_from refuses and serves its snapshot instead.
+            from_seq, from_epoch = max(self.log.seq, 1), "corrupt-resync"
         reply = await self.runtime.invoke(
-            ref, "fetchUpdates", (from_seq, self.log.epoch_at(from_seq)),
+            ref, "fetchUpdates", (from_seq, from_epoch),
             timeout=self.params.call_timeout)
         if reply[0] == "ops":
             applied = 0
@@ -311,6 +352,7 @@ class DatabaseService(Service):
             _tag, snap = reply
             self._load_snapshot(snap)
             self.snapshot_fetches += 1
+            self._force_snapshot = False
             self.emit("state_fetched", seq=snap["seq"])
         if self.log.seq > self.last_seen_primary_seq:
             self.last_seen_primary_seq = self.log.seq
@@ -335,15 +377,23 @@ class DatabaseService(Service):
                 "tables": tables}
 
     def _load_snapshot(self, snap: dict) -> None:
-        for disk_key in sorted(self.host.disk.keys()):
-            if disk_key.startswith(_DISK_PREFIX):
-                self.host.disk.delete(disk_key)
+        # Write-new-then-prune: lay the snapshot rows down first, drop
+        # stale tables second, adopt the cursor last (reset persists via
+        # the atomic swap, whose syncs also flush the rows).  A crash at
+        # any point leaves either the old consistent state (buffered
+        # writes lost) or a replayable superset -- never an empty prefix
+        # with an advanced cursor.
         for table, rows in sorted(snap["tables"].items()):
             self._write_table(table, dict(rows))
+        keep = {_DISK_PREFIX + table for table in snap["tables"]}
+        for disk_key in sorted(self.host.disk.keys()):
+            if disk_key.startswith(_DISK_PREFIX) and disk_key not in keep:
+                self.host.disk.delete(disk_key)
         # Adopting the snapshot adopts the sender's digest at that seq,
         # so the conformance oracle (equal digests <=> identical update
         # histories) survives the fallback.
         self.log.reset(snap["seq"], snap["epoch"], snap["digest"])
+        self._corrupt_tables.clear()
 
     async def _replication_poll(self) -> None:
         """Anti-entropy: poll the primary's log on a fixed cadence.
@@ -369,6 +419,13 @@ class DatabaseService(Service):
 
     def replication_gauges(self) -> dict:
         """Lag gauges scraped into the SSC load-report batch (PR 7)."""
+        if self.host.disk.wedged:
+            # An in-memory cursor over a wedged disk may be ahead of
+            # anything durable; refuse to vouch rather than report a
+            # gauge the storage cannot back (the SSC batch survives the
+            # raise and marks this service's gauges stale).
+            raise DiskWedged(f"db gauges unavailable: disk wedged "
+                             f"on {self.host.ip}")
         return {"repl_seq": self.log.seq,
                 "repl_lag": self.log.lag_behind(self.last_seen_primary_seq)}
 

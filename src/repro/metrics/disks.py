@@ -1,0 +1,32 @@
+"""Disk-counter accounting: what the storage fault model actually did.
+
+One collection surface shared by the chaos engine and the E17 drill, so
+both report the same numbers the same way.  Like every other collector
+it only *reads* state (the per-:class:`~repro.sim.host.Disk` counters)
+-- it must never perturb the run it measures.
+
+The load-bearing numbers are ``lost_writes`` and ``torn_writes``: a run
+where both are zero never actually exercised the crash-consistency
+machinery, so a green durability verdict on it proves nothing.  E17
+asserts they are *nonzero* for exactly that reason.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+def collect_disks(cluster) -> Dict[str, dict]:
+    """Per-server disk counters, keyed by host ip.
+
+    Each row is :meth:`repro.sim.host.Disk.counters`: writes, syncs,
+    lost_writes (buffered writes a crash discarded), torn_writes (keys
+    a crash left as :class:`~repro.sim.host.CorruptBlob`), corrupted
+    keys currently on the platter, and the unsynced buffer depth.
+    """
+    return {host.ip: host.disk.counters() for host in cluster.servers}
+
+
+def total(disks: Dict[str, dict], counter: str) -> int:
+    """Sum one counter across every server disk."""
+    return sum(row.get(counter, 0) for row in disks.values())

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 
-def _replica_row(ip: str, seq: int, digest: str, svc) -> dict:
+def _replica_row(ip: str, seq: int, digest: str, svc, wedged: bool) -> dict:
     return {
         "ip": ip,
         "seq": seq,
@@ -27,6 +27,9 @@ def _replica_row(ip: str, seq: int, digest: str, svc) -> dict:
         "catch_ups": getattr(svc, "catch_ups", 0),
         "catch_up_ops": getattr(svc, "catch_up_ops", 0),
         "snapshot_fetches": getattr(svc, "snapshot_fetches", 0),
+        # A wedged disk (PR 8) stalls this replica's log and gauges; the
+        # marker tells a convergence report why the row looks frozen.
+        "wedged": wedged,
     }
 
 
@@ -51,7 +54,8 @@ def collect_replication(cluster) -> Dict[str, dict]:
                 if replica is None:
                     continue
                 rows.append(_replica_row(host.ip, replica.store.applied_seq,
-                                         replica.changelog.digest, replica))
+                                         replica.changelog.digest, replica,
+                                         host.disk.wedged))
                 if replica.is_master:
                     primary_ip = host.ip
             else:
@@ -59,7 +63,8 @@ def collect_replication(cluster) -> Dict[str, dict]:
                 log = getattr(svc, "log", None)
                 if log is None:
                     continue
-                rows.append(_replica_row(host.ip, log.seq, log.digest, svc))
+                rows.append(_replica_row(host.ip, log.seq, log.digest, svc,
+                                         host.disk.wedged))
                 if getattr(svc, "is_primary", False):
                     primary_ip = host.ip
         digests = {row["digest"] for row in rows}

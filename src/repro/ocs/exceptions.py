@@ -48,6 +48,20 @@ class StaleReference(InvalidObjectReference):
     """
 
 
+class DiskWedged(ServiceUnavailable):
+    """The servant's host disk is wedged (PR 8 storage fault model).
+
+    Shares its name with ``repro.sim.host.DiskWedged`` on purpose: when a
+    servant's storage I/O raises the sim-level error, the wire form is
+    keyed by the exception class *name*, and the client side materialises
+    this class instead -- so a caller sees a wedged replica as just
+    another retryable unavailability and rebinds elsewhere, exactly the
+    recovery the paper's client library prescribes for a gone
+    implementor.  (Registered in ``repro.core.replication`` alongside
+    ``NotPrimary``.)
+    """
+
+
 class Overloaded(ServiceUnavailable):
     """The servant's admission gate shed this call (PR 4, paper section 5.1).
 

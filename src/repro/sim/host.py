@@ -19,6 +19,7 @@ Key semantics reproduced from the paper:
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.sim.errors import SimError
@@ -27,6 +28,48 @@ from repro.sim.kernel import Kernel, Task
 
 class ProcessExit(SimError):
     """Raised when interacting with a process that has exited."""
+
+
+class DiskWedged(SimError):
+    """The disk is wedged: every I/O hangs forever (modelled as a raise).
+
+    A wedged drive is indistinguishable from an infinitely slow one, so
+    the simulator collapses the wedged/slow-I/O spectrum into this one
+    fail-visible mode: any read/write/sync raises until the chaos layer
+    unwedges the disk (``heal_all`` or a timed ``disk_wedge`` fault).
+    Crossing an OCS call boundary this re-materialises client-side as a
+    retryable unavailability (see ``repro.ocs.exceptions.DiskWedged``).
+    """
+
+
+class CorruptBlob:
+    """What a reader finds where a torn or bit-rotten write landed.
+
+    Deliberately not a dict/list/tuple: consumers that expect structured
+    state must notice (checksum mismatch or an isinstance check) and take
+    their recovery path instead of silently indexing into garbage.
+    """
+
+    __slots__ = ("key", "reason")
+
+    def __init__(self, key: str, reason: str):
+        self.key = key
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return f"<CorruptBlob {self.key!r} ({self.reason})>"
+
+
+class _Tombstone:
+    """Buffered-delete marker inside a write barrier."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<tombstone>"
+
+
+_TOMBSTONE = _Tombstone()
 
 
 _pid_counter = [0]
@@ -128,28 +171,177 @@ class Disk:
     The database service keeps its tables here; the MDS keeps movie files
     here.  A *host* crash does not lose the disk (the paper's servers kept
     their movies across reboots); only explicit :meth:`wipe` does.
+
+    Values are isolated by value, not by reference: :meth:`write` stores a
+    deep copy and :meth:`read` returns one, so a caller mutating an object
+    after writing it cannot retroactively "update" the disk (and a reader
+    cannot corrupt the stored copy in place).
+
+    The storage *fault model* is entirely opt-in so that default runs stay
+    byte-identical to the golden traces:
+
+    - ``write_barrier``: writes land in a volatile buffer until
+      :meth:`sync` flushes them to the durable image; a host crash drops
+      the unsynced buffer (power-failure semantics).  Off by default --
+      writes are durable immediately and :meth:`sync` is a counted no-op.
+    - ``arm_torn_write``: the next crash garbles (rather than cleanly
+      drops) the most recently buffered key -- the classic torn sector.
+    - ``corrupt``: bit-rot; replaces a durable value with a
+      :class:`CorruptBlob` in place.
+    - ``wedged``: every I/O raises :class:`DiskWedged` until healed.
+
+    Counters (``writes``/``syncs``/``lost_writes``/``torn_writes``/
+    ``corrupted_keys``) feed the metrics layer; bumping them emits no
+    trace events.
     """
 
     def __init__(self) -> None:
-        self._data: Dict[str, Any] = {}
+        self._data: Dict[str, Any] = {}     # durable (synced) image
+        self._buffer: Dict[str, Any] = {}   # written but not yet synced
+        self.write_barrier = False
+        self.wedged = False
+        self._torn_armed = False
+        self._last_buffered: Optional[str] = None
+        self.writes = 0
+        self.syncs = 0
+        self.lost_writes = 0
+        self.torn_writes = 0
+        self.corrupted_keys = 0
+
+    def _check_wedged(self) -> None:
+        if self.wedged:
+            raise DiskWedged("disk is wedged")
 
     def read(self, key: str, default: Any = None) -> Any:
-        return self._data.get(key, default)
+        self._check_wedged()
+        if key in self._buffer:
+            value = self._buffer[key]
+            return default if value is _TOMBSTONE else copy.deepcopy(value)
+        if key in self._data:
+            return copy.deepcopy(self._data[key])
+        return default
 
     def write(self, key: str, value: Any) -> None:
-        self._data[key] = value
+        self._check_wedged()
+        self.writes += 1
+        value = copy.deepcopy(value)
+        if self.write_barrier:
+            self._buffer[key] = value
+            self._last_buffered = key
+        else:
+            self._data[key] = value
 
     def delete(self, key: str) -> None:
-        self._data.pop(key, None)
+        self._check_wedged()
+        if self.write_barrier:
+            self._buffer[key] = _TOMBSTONE
+            self._last_buffered = key
+        else:
+            self._data.pop(key, None)
+
+    def sync(self) -> None:
+        """Flush buffered writes to the durable image (fsync semantics).
+
+        With the write barrier off this is a counted no-op, so durable
+        consumers may call it unconditionally on their ack paths.
+        """
+        self._check_wedged()
+        self.syncs += 1
+        if not self._buffer:
+            return
+        for key, value in self._buffer.items():
+            if value is _TOMBSTONE:
+                self._data.pop(key, None)
+            else:
+                self._data[key] = value
+        self._buffer.clear()
+        self._last_buffered = None
 
     def keys(self) -> List[str]:
-        return sorted(self._data.keys())
+        self._check_wedged()
+        live = set(self._data)
+        for key, value in self._buffer.items():
+            if value is _TOMBSTONE:
+                live.discard(key)
+            else:
+                live.add(key)
+        return sorted(live)
 
     def __contains__(self, key: str) -> bool:
+        self._check_wedged()
+        if key in self._buffer:
+            return self._buffer[key] is not _TOMBSTONE
         return key in self._data
 
     def wipe(self) -> None:
         self._data.clear()
+        self._buffer.clear()
+        self._last_buffered = None
+
+    # -- fault surface (driven by the chaos layer) -----------------------
+
+    def arm_torn_write(self) -> None:
+        """The next crash tears the most recently buffered write.
+
+        A torn write needs a write in flight, so arming the tear also
+        arms the write barrier.
+        """
+        self.write_barrier = True
+        self._torn_armed = True
+
+    def corrupt(self, key: str) -> bool:
+        """Bit-rot: garble the stored value of ``key`` in place.
+
+        Returns False if the key does not exist (nothing to rot).
+        """
+        present = (key in self._buffer and self._buffer[key] is not _TOMBSTONE
+                   ) or key in self._data
+        if not present:
+            return False
+        self._buffer.pop(key, None)
+        self._data[key] = CorruptBlob(key, "bit rot")
+        self.corrupted_keys += 1
+        return True
+
+    def heal(self) -> None:
+        """End active disturbance: unwedge and disarm the pending tear.
+
+        The write barrier stays as armed -- buffered state remains
+        readable and only a *crash* (which the healed schedule no longer
+        contains) could lose it.
+        """
+        self.wedged = False
+        self._torn_armed = False
+
+    def crash(self) -> None:
+        """Power loss: unsynced buffered writes are gone.
+
+        If a torn write was armed, the most recently buffered key lands
+        garbled on the durable image instead of vanishing cleanly.
+        """
+        if not self._buffer:
+            self._torn_armed = False
+            return
+        lost = len(self._buffer)
+        if self._torn_armed and self._last_buffered in self._buffer:
+            value = self._buffer[self._last_buffered]
+            if value is not _TOMBSTONE:
+                self._data[self._last_buffered] = CorruptBlob(
+                    self._last_buffered, "torn write")
+                self.torn_writes += 1
+                lost -= 1
+        self._torn_armed = False
+        self.lost_writes += lost
+        self._buffer.clear()
+        self._last_buffered = None
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the I/O counters for the metrics layer."""
+        return {"writes": self.writes, "syncs": self.syncs,
+                "lost_writes": self.lost_writes,
+                "torn_writes": self.torn_writes,
+                "corrupted_keys": self.corrupted_keys,
+                "unsynced": len(self._buffer)}
 
 
 class Host:
@@ -187,6 +379,7 @@ class Host:
         for proc in list(self.processes):
             proc.kill(status="host crashed")
         self.processes = []
+        self.disk.crash()
         for hook in list(self._crash_hooks):
             hook(self)
 

@@ -274,6 +274,11 @@ class Kernel:
         # single attribute check, so runs that do not ask for HB events
         # (Params.hb_trace) stay byte-identical to the golden traces.
         self.hb_log: Optional[Any] = None
+        # Durability-audit sink (chaos DurabilityLedger): primaries call
+        # ``ack_db``/``ack_ns`` at their acknowledgement points when one
+        # is installed.  Same discipline as hb_log -- None by default so
+        # un-audited runs pay one attribute check and emit nothing.
+        self.durability_ledger: Optional[Any] = None
 
     @property
     def now(self) -> float:

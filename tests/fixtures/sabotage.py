@@ -49,6 +49,32 @@ WEDGED_LOG_SCHEDULE = FaultSchedule(faults=(
 ), horizon=120.0)
 
 
+#: A schedule built to exploit ack-before-sync (PR 8 sabotage): crash
+#: the db primary's server while viewer writes are in flight, reboot it
+#: soon enough that it reclaims its binding (so the durability monitor
+#: judges *its* disk), and leave a long tail for recovery to settle.
+#: Run it with ``ack_before_sync_params()``: the write barrier buffers
+#: every write and the missing sync means acked rows evaporate in the
+#: crash -- the exact loss the ``durability`` monitor must report.
+ACK_BEFORE_SYNC_SCHEDULE = FaultSchedule(faults=(
+    Fault(15.0, "kill_service", {"server": 1, "service": "mds"}),
+    Fault(45.0, "crash_server", {"server": 0}),
+    Fault(53.0, "reboot_server", {"server": 0}),
+), horizon=150.0)
+
+
+def ack_before_sync_params():
+    """Params that ack db/NS writes before the disk sync (PR 8 sabotage).
+
+    With the write barrier armed and ``ack_after_sync`` off, a primary
+    acknowledges out of its volatile write cache; any crash then loses
+    client-acked state.  A ``durability`` monitor that stays green under
+    this combination is not testing anything.
+    """
+    from repro.core.params import Params
+    return Params(disk_write_barrier=True, ack_after_sync=False)
+
+
 @contextmanager
 def wedged_replica_log():
     """db backups silently drop every replicated entry (PR 7 sabotage).
