@@ -21,7 +21,10 @@ from repro.services.base import Service
 register_interface("Auth", {
     "getTicket": ("principal",),
     "renewTicket": ("ticket",),
-}, doc="Kerberos-like ticket granting (section 3.3)")
+    # Tickets are pure signed values (no server-side session state), so
+    # re-issuing one on a retry is harmless.
+}, doc="Kerberos-like ticket granting (section 3.3)",
+   idempotent=("getTicket", "renewTicket"))
 
 
 @register_exception

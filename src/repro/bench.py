@@ -297,6 +297,40 @@ def bench_binding_cache(n: int) -> Dict[str, Any]:
     return out
 
 
+# -- reply cache ------------------------------------------------------
+
+
+def bench_reply_cache(n: int) -> Dict[str, Any]:
+    """The at-most-once dedup gate: every two-way call pays one
+    ``begin``/``complete`` round (PR 9), so the cache must stay
+    dictionary-cheap under steady eviction pressure.
+
+    The workload mixes fresh request ids (the common case), a 10%
+    duplicate tail re-begun after completion (the replay path), and a
+    client fan-out wide enough that the LRU evicts continuously --
+    measuring the steady state, not the empty-cache honeymoon.
+    """
+    from repro.ocs.replycache import ReplyCache
+
+    cache = ReplyCache(capacity=min(512, max(64, n // 16)))
+
+    def run() -> Dict[str, Any]:
+        for i in range(n):
+            client = f"10.0.0.{i % 17}/c"
+            seq = i // 17 + 1
+            cache.begin(client, seq)
+            cache.complete(client, seq, {"ok": True, "result": i})
+            if i % 10 == 0:
+                cache.begin(client, seq)   # duplicate arrival: replay
+        return {"requests": n, "replays": cache.replays,
+                "evictions": cache.evictions,
+                "cached": cache.stats()["cached"]}
+
+    out = _timed(run)
+    out["requests_per_sec"] = round(out["requests"] / max(out["wall_s"], 1e-9))
+    return out
+
+
 # -- end to end -------------------------------------------------------
 
 
@@ -345,6 +379,7 @@ def run_suite(quick: bool = False) -> Dict[str, Any]:
     benchmarks["admission_gate"] = bench_admission_gate(20_000 * scale)
     benchmarks["changelog_append"] = bench_changelog_append(5_000 * scale)
     benchmarks["binding_cache"] = bench_binding_cache(20_000 * scale)
+    benchmarks["reply_cache"] = bench_reply_cache(20_000 * scale)
     benchmarks["boot_storm_e11"] = bench_boot_storm(16 if quick else 48)
     return {
         "schema": SCHEMA,
@@ -364,8 +399,8 @@ def format_lines(results: Dict[str, Any]) -> List[str]:
     for name, data in results["benchmarks"].items():
         parts = [f"{name}: {data['wall_s'] * 1000:.1f} ms"]
         for key in ("events_per_sec", "messages_per_sec", "cycles_per_sec",
-                    "appends_per_sec", "lookups_per_sec", "speedup",
-                    "sim_seconds_per_wall_s"):
+                    "appends_per_sec", "lookups_per_sec", "requests_per_sec",
+                    "speedup", "sim_seconds_per_wall_s"):
             if key in data:
                 parts.append(f"{key}={data[key]}")
         lines.append("  " + "  ".join(parts))

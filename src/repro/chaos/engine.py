@@ -27,6 +27,7 @@ from repro.chaos.schedule import FaultSchedule, generate_schedule
 from repro.cluster.builder import Cluster, build_full_cluster, fresh_run_state
 from repro.cluster.scenario import Scenario
 from repro.core.params import Params
+from repro.metrics.delivery import collect_delivery
 from repro.metrics.disks import collect_disks
 from repro.metrics.overload import collect_overload
 from repro.metrics.replication import collect_replication
@@ -62,6 +63,10 @@ class ChaosResult:
     # PR 8: per-server disk counters at quiesce (writes, syncs, lost and
     # torn writes, corrupted keys) -- see repro.metrics.disks.
     disks: Dict[str, dict] = field(default_factory=dict)
+    # PR 9: hostile-delivery accounting at quiesce (duplicated/reordered/
+    # corrupted frames, checksum drops, reply-cache counters, effect-
+    # ledger summary) -- see repro.metrics.delivery.
+    delivery: Dict[str, dict] = field(default_factory=dict)
     # PR 6: happens-before summary (race count, write-order digests) when
     # the run was built with Params.hb_trace; None otherwise.  hb_events
     # is the raw event stream the verdict came from -- kept out of
@@ -91,6 +96,7 @@ class ChaosResult:
             "degraded_ops": self.degraded_ops,
             "replication": self.replication,
             "disks": self.disks,
+            "delivery": self.delivery,
             "hb": self.hb,
             "schedule": self.schedule.to_dict(),
         }
@@ -184,6 +190,7 @@ def run_schedule(schedule: FaultSchedule, seed: int, n_servers: int = 3,
         degraded_ops=sum(s.stats.degraded for s in sessions),
         replication=collect_replication(cluster),
         disks=collect_disks(cluster),
+        delivery=collect_delivery(cluster),
         hb=hb_summary,
         hb_events=hb_events,
     )

@@ -34,6 +34,12 @@ FAULT_KINDS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
     "loss": (("target", "probability"), ()),
     "delay": (("target", "extra"), ()),
     "duplicate": (("target", "probability"), ()),
+    # reorder: a hit message is held back up to ``max_skew`` seconds on
+    # the target's in-link, so later sends overtake it.
+    "reorder": (("target", "probability"), ("max_skew",)),
+    # corrupt: a hit message is delivered payload-damaged; the receiver's
+    # envelope checksum is expected to catch and drop it.
+    "corrupt": (("target", "probability"), ()),
     "gray": (("server", "reply_lag"), ()),
     "clear_link_faults": ((), ()),
     # -- overload faults (PR 4) ------------------------------------------
@@ -117,6 +123,9 @@ def validate_fault(kind: str, args: Mapping[str, Any], at: float = 0.0) -> None:
     for name in ("extra", "reply_lag", "lag", "duration"):
         if name in args and float(args[name]) < 0:
             raise FaultError(f"{kind}: {name} must be >= 0")
+    for name in ("max_skew",):
+        if name in args and float(args[name]) <= 0:
+            raise FaultError(f"{kind}: {name} must be > 0")
     for name in ("calls",):
         if name in args and int(args[name]) <= 0:
             raise FaultError(f"{kind}: {name} must be > 0")

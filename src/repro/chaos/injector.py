@@ -167,6 +167,21 @@ class FaultInjector:
                 ip, float(fault.args["probability"]),
                 self.rng.stream(f"dup-{ip}"))
 
+    def _do_reorder(self, fault: Fault) -> None:
+        ip = self._target_ip(str(fault.args["target"]))
+        if ip is not None:
+            self.cluster.net.set_reorder(
+                ip, float(fault.args["probability"]),
+                float(fault.args.get("max_skew", 0.05)),
+                self.rng.stream(f"reorder-{ip}"))
+
+    def _do_corrupt(self, fault: Fault) -> None:
+        ip = self._target_ip(str(fault.args["target"]))
+        if ip is not None:
+            self.cluster.net.set_corrupt(
+                ip, float(fault.args["probability"]),
+                self.rng.stream(f"corrupt-{ip}"))
+
     def _do_gray(self, fault: Fault) -> None:
         ip = self._server_ip(int(fault.args["server"]))
         self.cluster.net.set_gray(ip, float(fault.args["reply_lag"]))

@@ -33,7 +33,11 @@ The catalog (DESIGN.md section 9):
 - every write a client saw acknowledged is readable after any
   crash-and-recovery -- the durability contract the sync-before-ack
   barrier exists to uphold (PR 8, falsifiable via
-  ``Params.ack_after_sync=False``).
+  ``Params.ack_after_sync=False``);
+- no non-idempotent request id executes twice on the same server under
+  duplication/reordering/retries -- the at-most-once contract the reply
+  cache exists to uphold (PR 9, falsifiable via
+  ``OCSRuntime.dedup_enabled=False``).
 """
 
 from __future__ import annotations
@@ -895,6 +899,103 @@ class DurabilityMonitor(Monitor):
         return out
 
 
+class EffectLedger:
+    """Side-channel record of every non-idempotent servant execution.
+
+    :meth:`repro.ocs.runtime.OCSRuntime._run_servant` stamps each
+    execution of a two-way non-idempotent method with the call's
+    ``(client_id, call_seq)`` request id, *regardless* of whether the
+    reply cache is enabled -- that independence is what lets the
+    at-most-once monitor catch a sabotaged (dedup-disabled) server
+    actually double-executing.  The ledger lives on the kernel, outside
+    every host, so crashes cannot lose it.
+    """
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        #: request id -> list of {"t", "actor", "method"} executions.
+        self.executions: Dict[tuple, List[dict]] = {}
+        self.total = 0
+
+    def record(self, request_id: tuple, actor: str, method: str,
+               at: float) -> None:
+        self.total += 1
+        self.executions.setdefault(request_id, []).append(
+            {"t": at, "actor": actor, "method": method})
+
+    def double_executions(self) -> List[Tuple[tuple, List[dict]]]:
+        """Request ids executed 2+ times *by the same server process*.
+
+        A re-execution on a different actor is the known failover cost:
+        the client rebound to another replica after the first server
+        died with the reply (at-most-once is per incarnation, like the
+        reply cache itself).  Same-actor doubles are the unrecoverable
+        bug the reply cache exists to prevent.
+        """
+        out = []
+        for rid, execs in sorted(self.executions.items()):
+            if len(execs) < 2:
+                continue
+            by_actor: Dict[str, int] = {}
+            for e in execs:
+                by_actor[e["actor"]] = by_actor.get(e["actor"], 0) + 1
+            if any(n >= 2 for n in by_actor.values()):
+                out.append((rid, execs))
+        return out
+
+    def summary(self) -> Dict[str, int]:
+        doubles = self.double_executions()
+        cross_actor = sum(
+            1 for execs in self.executions.values()
+            if len(execs) >= 2
+            and len({e["actor"] for e in execs}) == len(execs))
+        return {"executions": self.total,
+                "request_ids": len(self.executions),
+                "same_actor_doubles": len(doubles),
+                "cross_actor_reexecutions": cross_actor}
+
+
+class AtMostOnceMonitor(Monitor):
+    """No non-idempotent request id executes twice on one server (PR 9).
+
+    Under duplication, reordering, and retry-after-timeout the network
+    hands a server the same call envelope more than once; the reply
+    cache must collapse every re-arrival onto the single execution.  The
+    monitor reads the kernel-resident :class:`EffectLedger` and flags
+    any request id with two executions by the same actor (``ip/pid``).
+    Cross-actor re-execution after a rebind is excused -- see
+    :meth:`EffectLedger.double_executions`.  Falsifiable both ways: with
+    ``OCSRuntime.dedup_enabled=False`` (the sabotage fixture) a hostile
+    schedule makes exactly this monitor go red.
+    """
+
+    name = "at_most_once"
+
+    def bind(self, cluster, injector, params, context) -> None:
+        super().bind(cluster, injector, params, context)
+        self.ledger = EffectLedger(cluster)
+        cluster.kernel.effect_ledger = self.ledger
+        self._reported: set = set()
+
+    def check(self) -> List[Violation]:
+        return self._sweep()
+
+    def finish(self) -> List[Violation]:
+        return self._sweep()
+
+    def _sweep(self) -> List[Violation]:
+        out: List[Violation] = []
+        for rid, execs in self.ledger.double_executions():
+            if rid in self._reported:
+                continue
+            self._reported.add(rid)
+            times = ", ".join(f"{e['t']:.3f}@{e['actor']}" for e in execs)
+            out.append(self._violation(
+                f"request {rid[0]}#{rid[1]} ({execs[0]['method']}) "
+                f"executed {len(execs)}x: {times}"))
+        return out
+
+
 def default_monitors() -> List[Monitor]:
     """The full invariant catalog, fresh instances."""
     return [CscPrimaryMonitor(), NsAgreementMonitor(),
@@ -902,7 +1003,7 @@ def default_monitors() -> List[Monitor]:
             SettopServiceMonitor(), FutureLeakMonitor(),
             ExpiredWorkMonitor(), QueueBoundMonitor(),
             HbRaceMonitor(), ReplicaLagMonitor(),
-            DurabilityMonitor()]
+            DurabilityMonitor(), AtMostOnceMonitor()]
 
 
 class MonitorBus:

@@ -174,29 +174,39 @@ def generate_schedule(rng: SeededRandom, n_faults: int = 8,
             faults.append(Fault(at, "duplicate", {
                 "target": _pick_target(rng, n_servers, n_settops),
                 "probability": round(rng.uniform(0.1, 0.5), 3)}))
-        elif roll < 0.81:
+        # -- hostile-delivery faults (PR 9) -----------------------------
+        elif roll < 0.805:
+            faults.append(Fault(at, "reorder", {
+                "target": _pick_target(rng, n_servers, n_settops),
+                "probability": round(rng.uniform(0.1, 0.5), 3),
+                "max_skew": round(rng.uniform(0.02, 0.2), 3)}))
+        elif roll < 0.83:
+            faults.append(Fault(at, "corrupt", {
+                "target": _pick_target(rng, n_servers, n_settops),
+                "probability": round(rng.uniform(0.05, 0.3), 3)}))
+        elif roll < 0.855:
             faults.append(Fault(at, "gray", {
                 "server": rng.randint(0, n_servers - 1),
                 "reply_lag": round(rng.uniform(0.3, 1.5), 3)}))
-        elif roll < 0.85:
+        elif roll < 0.88:
             # Flash crowd against an overload-aware service (PR 4).
             faults.append(Fault(at, "load_surge", {
                 "service": rng.choice(SURGEABLE_SERVICES),
                 "calls": rng.randint(50, 300),
                 "duration": round(rng.uniform(5.0, 20.0), 1)}))
-        elif roll < 0.88:
+        elif roll < 0.905:
             faults.append(Fault(at, "slow_consumer", {
                 "server": rng.randint(0, n_servers - 1),
                 "service": rng.choice(SURGEABLE_SERVICES),
                 "lag": round(rng.uniform(0.2, 2.0), 3)}))
         # -- storage faults (PR 8) --------------------------------------
-        elif roll < 0.91:
+        elif roll < 0.93:
             faults.append(Fault(at, "disk_lose_unsynced",
                                 {"server": rng.randint(0, n_servers - 1)}))
-        elif roll < 0.94:
+        elif roll < 0.955:
             faults.append(Fault(at, "disk_torn_write",
                                 {"server": rng.randint(0, n_servers - 1)}))
-        elif roll < 0.97:
+        elif roll < 0.98:
             faults.append(Fault(at, "disk_corrupt", {
                 "server": rng.randint(0, n_servers - 1),
                 "key": rng.choice(DISK_FAULT_KEYS)}))

@@ -213,6 +213,18 @@ def _cmd_chaos(args) -> int:
             print(f"  disks: lost_writes={lost} torn_writes={torn} "
                   f"corrupted_keys={rot} "
                   f"syncs={disk_total(result.disks, 'syncs')}")
+        net = result.delivery.get("net", {})
+        if net.get("duplicated") or net.get("reordered") \
+                or net.get("corrupted"):
+            env = result.delivery.get("envelopes", {})
+            effects = result.delivery.get("effects", {})
+            print(f"  delivery: dup={net.get('duplicated', 0)} "
+                  f"reorder={net.get('reordered', 0)} "
+                  f"corrupt={net.get('corrupted', 0)} "
+                  f"dropped={env.get('corrupt_dropped', 0)} "
+                  f"dispatched={env.get('corrupt_dispatched', 0)} "
+                  f"replays={env.get('replays', 0)} "
+                  f"doubles={effects.get('same_actor_doubles', 0)}")
         if args.double_run:
             if results[1].digest != result.digest:
                 print(f"  DETERMINISM VIOLATION: re-run digest "

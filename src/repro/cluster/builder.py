@@ -68,6 +68,10 @@ class Cluster:
             # runs without the flag stay byte-identical to the goldens.
             self.kernel.hb_log = self.trace
         self.net = Network(self.kernel)
+        # Fault firings (duplicate/reorder/corrupt) log into the run's
+        # trace; with no faults injected nothing is emitted, so golden
+        # digests of fault-free runs are untouched.
+        self.net.trace = self.trace
         self.registry = ServiceRegistry()
         self.base_services = list(base_services or BASE_SERVICES)
         self.servers: List[Host] = []

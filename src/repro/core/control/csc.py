@@ -34,7 +34,8 @@ register_interface("ClusterController", {
     "stopServiceOn": ("service", "server_ip"),
     "moveService": ("service", "from_ip", "to_ip"),
     "serverStatus": (),
-}, doc="Cluster Service Controller (section 6.2)")
+}, doc="Cluster Service Controller (section 6.2)",
+   idempotent=("placement", "clusterState", "serverStatus"))
 
 
 @register_exception

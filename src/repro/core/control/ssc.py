@@ -42,7 +42,11 @@ register_interface("ServiceController", {
     "registerCallback": ("callback",),
     "liveObjects": (),
     "ping": (),
-}, doc="Server Service Controller (section 6.1)")
+    # start/stop flip desired-state and notifyReady/registerCallback
+    # record associations; all are dedup'd so a retried start does not
+    # double-bump restart accounting.
+}, doc="Server Service Controller (section 6.1)",
+   idempotent=("listServices", "liveObjects", "ping"))
 
 register_interface("ObjectStatusCallback", {
     "objectsRegistered": MethodDef("objectsRegistered", ("objects",)),

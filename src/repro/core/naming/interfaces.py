@@ -39,6 +39,12 @@ NAMING_CONTEXT = register_interface(
         "reportLoadBatch": ("entries",),
     },
     doc="Hierarchical naming context (paper section 4.4)",
+    # resolve is the hottest call in the cluster and load reports are
+    # absolute gauge upserts; none of them may queue behind the reply
+    # cache.  bind/unbind/bindNewContext/bindReplContext/setSelector
+    # mutate the tree and stay dedup'd.
+    idempotent=("resolve", "resolveFor", "list", "listRepl",
+                "reportLoad", "reportLoadBatch"),
 )
 
 REPLICATED_CONTEXT = register_interface(
@@ -56,6 +62,7 @@ SELECTOR = register_interface(
         "select": ("bindings", "caller_ip"),
     },
     doc="Replica chooser for a ReplicatedContext (section 4.5)",
+    idempotent=("select",),
 )
 
 NAME_REPLICA = register_interface(
@@ -79,4 +86,9 @@ NAME_REPLICA = register_interface(
         "status": (),
     },
     doc="Internal replica-to-replica protocol (section 4.6)",
+    # The replica protocol is epoch/seq-guarded end to end: a re-sent
+    # heartbeat reasserts the same (epoch, seq), requestVote returns the
+    # recorded per-epoch answer, and fetchUpdates is a pure cursor read.
+    # forwardUpdate is the one true mutation and stays dedup'd.
+    idempotent=("requestVote", "heartbeat", "fetchUpdates", "status"),
 )

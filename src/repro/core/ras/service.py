@@ -46,7 +46,10 @@ register_interface("RAS", {
     # messages instead of O(services).
     "reportLoadBatch": ("reports",),
     "loadGauges": (),
-}, doc="Resource Audit Service (section 7.2)")
+    # Status probes and absolute gauge upserts, all safe to re-run.
+}, doc="Resource Audit Service (section 7.2)",
+   idempotent=("checkStatus", "watchedCounts", "reportLoad",
+               "reportLoadBatch", "loadGauges"))
 
 Entity = Union[str, ObjectRef]   # settop IP string, or a service object ref
 

@@ -126,6 +126,12 @@ class RebindingProxy:
         call_timeout = timeout or self._params.call_timeout
         backoff = self._params.rebind_backoff
         last_error: Optional[Exception] = None
+        # One request id for the whole logical call: every retry below
+        # (including retry-after-CallTimeout, which lands in the
+        # ServiceUnavailable arm) re-issues under the same identity, so
+        # a server that already executed a timed-out attempt replays its
+        # cached reply instead of executing the op a second time.
+        request_id = self._runtime.next_request_id()
         while kernel.now < budget:
             if self._ref is None:
                 try:
@@ -151,7 +157,7 @@ class RebindingProxy:
                 return await self._runtime.invoke(
                     self._ref, method, args,
                     timeout=min(call_timeout, budget - kernel.now),
-                    deadline=deadline)
+                    deadline=deadline, request_id=request_id)
             except Overloaded as err:
                 # Alive but saturated: cool this endpoint down and let
                 # the name service steer the retry at another replica.

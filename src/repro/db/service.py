@@ -53,7 +53,12 @@ register_interface("Database", {
     "fetchUpdates": ("from_seq", "from_epoch"),
     # write-through proxying: a replica forwards a write to the primary.
     "forwardWrite": ("table", "key", "value", "deleted"),
-}, doc="Persistent tables (Figure 2)")
+    # applyUpdates/fetchUpdates carry their own seq cursors (a replayed
+    # batch is detected and ignored by the receiver), so the replication
+    # stream does not burn reply-cache slots.  put/delete/forwardWrite
+    # are the durable effects the cache guards.
+}, doc="Persistent tables (Figure 2)",
+   idempotent=("get", "scan", "tables", "applyUpdates", "fetchUpdates"))
 
 
 @register_exception

@@ -10,7 +10,7 @@ of paper section 3.2.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 from repro.idl.errors import (
@@ -27,6 +27,8 @@ class MethodDef:
 
     ``params`` are parameter names (checked by count at call time);
     ``oneway`` operations expect no reply (used for notifications);
+    ``idempotent`` operations are safe to re-execute on a retry, so the
+    server-side reply cache lets them bypass at-most-once dedup;
     ``doc`` mirrors the comment block an IDL file would carry.
     """
 
@@ -34,6 +36,7 @@ class MethodDef:
     params: Tuple[str, ...] = ()
     oneway: bool = False
     doc: str = ""
+    idempotent: bool = False
 
     def check_args(self, args: tuple) -> None:
         if len(args) != len(self.params):
@@ -93,21 +96,34 @@ interface_registry: Dict[str, InterfaceDef] = {}
 
 
 def register_interface(name: str, methods: Dict[str, Tuple],
-                       base: Optional[str] = None, doc: str = "") -> InterfaceDef:
+                       base: Optional[str] = None, doc: str = "",
+                       idempotent: Tuple[str, ...] = ()) -> InterfaceDef:
     """Declare and register an interface.
 
     ``methods`` maps operation name to a tuple of parameter names (or to a
-    :class:`MethodDef` for oneway/documented operations).  Re-registering
-    the same name with identical content is idempotent so test modules can
-    import service modules repeatedly.
+    :class:`MethodDef` for oneway/documented operations).  ``idempotent``
+    names the operations that are safe to execute more than once under a
+    retried request id (reads, status probes, absolute-value writes); all
+    others get at-most-once dedup from the server's reply cache.
+    Re-registering the same name with identical content is idempotent so
+    test modules can import service modules repeatedly.
     """
     base_def = lookup_interface(base) if base is not None else None
+    unknown = [m for m in idempotent if m not in methods]
+    if unknown:
+        raise SignatureError(
+            f"interface {name}: idempotent declares unknown operation(s) "
+            f"{unknown}")
     method_defs: Dict[str, MethodDef] = {}
     for mname, spec in methods.items():
         if isinstance(spec, MethodDef):
-            method_defs[mname] = spec
+            mdef = spec
+            if mname in idempotent and not mdef.idempotent:
+                mdef = replace(mdef, idempotent=True)
+            method_defs[mname] = mdef
         else:
-            method_defs[mname] = MethodDef(name=mname, params=tuple(spec))
+            method_defs[mname] = MethodDef(name=mname, params=tuple(spec),
+                                           idempotent=mname in idempotent)
     iface = InterfaceDef(name=name, methods=method_defs, base=base_def, doc=doc)
     existing = interface_registry.get(name)
     if existing is not None:

@@ -14,6 +14,16 @@ HEADER_BYTES = 256
 # byte accounting rather than hiding in HEADER_BYTES.
 DEADLINE_BYTES = 8
 
+# At-most-once request identity (PR 9): every two-way call envelope
+# carries a ``(client_id, call_seq)`` pair so a retry is recognizable as
+# the same logical request.  Charged as a fixed-width field (an 8-byte
+# client hash plus an 8-byte sequence number) like DEADLINE_BYTES.
+REQUEST_ID_BYTES = 16
+
+# Payload checksum (PR 9): one CRC32 over the marshaled frame, so a
+# receiver can reject a corrupted datagram instead of dispatching it.
+CHECKSUM_BYTES = 4
+
 _msg_counter = [0]
 
 
@@ -41,12 +51,13 @@ class Message:
     """
 
     __slots__ = ("src", "dst", "kind", "payload", "payload_bytes", "msg_id",
-                 "deadline")
+                 "deadline", "corrupted")
 
     def __init__(self, src: Tuple[str, int], dst: Tuple[str, int], kind: str,
                  payload: Any = None, payload_bytes: int = 0,
                  msg_id: Optional[int] = None,
-                 deadline: Optional[float] = None):
+                 deadline: Optional[float] = None,
+                 corrupted: bool = False):
         self.src = src
         self.dst = dst
         self.kind = kind
@@ -56,6 +67,11 @@ class Message:
         # Absolute (virtual-clock) deadline for the work this datagram
         # asks for; None means "no deadline" (replies, raw datagrams).
         self.deadline = deadline
+        # A corrupt fault flipped bits in this copy's frame: the payload
+        # checksum no longer verifies.  The payload object itself is
+        # shared with any clean copies, so the damage is a flag, not a
+        # mutation (a duplicated datagram corrupts independently).
+        self.corrupted = corrupted
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Message):
@@ -64,7 +80,8 @@ class Message:
                 and self.kind == other.kind and self.payload == other.payload
                 and self.payload_bytes == other.payload_bytes
                 and self.msg_id == other.msg_id
-                and self.deadline == other.deadline)
+                and self.deadline == other.deadline
+                and self.corrupted == other.corrupted)
 
     __hash__ = None  # type: ignore[assignment] - dataclass(eq=True) semantics
 

@@ -63,11 +63,22 @@ class Network:
         self._delay: Dict[str, float] = {}          # dst ip -> extra seconds
         self._dup: Dict[str, Tuple[float, Any]] = {}  # dst ip -> (prob, rng)
         self._gray: Dict[str, float] = {}           # src ip -> reply lag
+        # dst ip -> (prob, max_skew, rng): random extra in-link delay, so
+        # later datagrams overtake earlier ones (bounded reordering).
+        self._reorder: Dict[str, Tuple[float, float, Any]] = {}
+        # dst ip -> (prob, rng): deliver a checksum-failing copy.
+        self._corrupt: Dict[str, Tuple[float, Any]] = {}
+        # Trace sink for fault firings (wired by the cluster builder;
+        # None outside a built cluster).  Faults are off by default, so
+        # a fault-free run emits nothing here and golden digests hold.
+        self.trace: Optional[Any] = None
         self.messages_sent: int = 0
         self.messages_delivered: int = 0
         self.messages_dropped: int = 0
         self.messages_lost: int = 0
         self.messages_duplicated: int = 0
+        self.messages_reordered: int = 0
+        self.messages_corrupted: int = 0
         # kind -> [count, bytes]: one dict probe per send instead of four.
         self._kind_stats: Dict[str, List[int]] = {}
 
@@ -235,8 +246,45 @@ class Network:
         else:
             self._gray[ip] = reply_lag
 
+    def set_reorder(self, ip: str, probability: float, max_skew: float,
+                    rng) -> None:
+        """Randomly defer datagrams delivered to ``ip`` so later sends
+        overtake them (bounded reordering).
+
+        With the given probability a datagram picks up a uniform extra
+        in-link delay in ``(0, max_skew]`` -- anything sent within that
+        window can arrive first.  Models multipath on the plant.  Zero
+        probability removes the fault.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("reorder probability must be in [0, 1]")
+        if max_skew <= 0.0:
+            raise ValueError("reorder max_skew must be > 0")
+        if probability == 0.0:
+            self._reorder.pop(ip, None)
+        else:
+            self._reorder[ip] = (probability, max_skew, rng)
+
+    def set_corrupt(self, ip: str, probability: float, rng) -> None:
+        """Flip bits in datagrams delivered to ``ip`` with the given
+        probability.
+
+        The damaged copy carries the same message id but fails its
+        payload checksum; receivers that verify checksums drop it and
+        the sender's retry machinery takes over.  Each delivery (and
+        each duplicate echo) corrupts independently.  Zero probability
+        removes the fault.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("corruption probability must be in [0, 1]")
+        if probability == 0.0:
+            self._corrupt.pop(ip, None)
+        else:
+            self._corrupt[ip] = (probability, rng)
+
     def clear_faults(self) -> None:
-        """Remove every injected loss/delay/duplication/gray fault.
+        """Remove every injected loss/delay/duplication/gray/reorder/
+        corruption fault.
 
         Partitions are healed separately (:meth:`heal_partitions`): a
         schedule may want the plant noise gone while a split remains.
@@ -245,6 +293,8 @@ class Network:
         self._delay.clear()
         self._dup.clear()
         self._gray.clear()
+        self._reorder.clear()
+        self._corrupt.clear()
 
     def _lose(self, dst_ip: str) -> bool:
         entry = self._loss.get(dst_ip)
@@ -299,12 +349,25 @@ class Network:
             self._maybe_duplicate(msg, delay)
 
     def _fault_delay(self, src_ip: str, dst_ip: str) -> float:
-        """Extra one-way delay from injected delay/gray faults (usually 0)."""
+        """Extra one-way delay from injected delay/gray/reorder faults
+        (usually 0).  All three send paths route through here, so the
+        faults apply with parity."""
         extra = 0.0
         if self._delay:
             extra += self._delay.get(dst_ip, 0.0)
         if self._gray:
             extra += self._gray.get(src_ip, 0.0)
+        if self._reorder:
+            entry = self._reorder.get(dst_ip)
+            if entry is not None:
+                probability, max_skew, rng = entry
+                if rng.random() < probability:
+                    self.messages_reordered += 1
+                    skew = rng.uniform(0.0, max_skew)
+                    if self.trace is not None:
+                        self.trace.emit("net", "reorder", dst=dst_ip,
+                                        skew=round(skew, 6))
+                    extra += skew
         return extra
 
     def _maybe_duplicate(self, msg: Message, delay: float) -> None:
@@ -314,7 +377,28 @@ class Network:
         probability, rng = entry
         if rng.random() < probability:
             self.messages_duplicated += 1
+            if self.trace is not None:
+                self.trace.emit("net", "duplicate", dst=msg.dst[0],
+                                kind=msg.kind)
             self.kernel.call_later(delay + FDDI_LATENCY, self._deliver, msg)
+
+    def _maybe_corrupt(self, msg: Message, dst_ip: str) -> Message:
+        """Roll the corruption fault for one delivery; a hit hands the
+        handler a flagged copy (same msg id) so clean duplicates of the
+        same datagram are unaffected."""
+        entry = self._corrupt.get(dst_ip)
+        if entry is None:
+            return msg
+        probability, rng = entry
+        if rng.random() >= probability:
+            return msg
+        self.messages_corrupted += 1
+        if self.trace is not None:
+            self.trace.emit("net", "corrupt", dst=dst_ip, kind=msg.kind)
+        return Message(src=msg.src, dst=msg.dst, kind=msg.kind,
+                       payload=msg.payload, payload_bytes=msg.payload_bytes,
+                       msg_id=msg.msg_id, deadline=msg.deadline,
+                       corrupted=True)
 
     def _deliver(self, msg: Message) -> None:
         dst_ip, dst_port = msg.dst
@@ -326,6 +410,8 @@ class Network:
             return
         if self._loss and self._lose(dst_ip):
             return  # plant noise ate the datagram
+        if self._corrupt:
+            msg = self._maybe_corrupt(msg, dst_ip)
         handler = iface.ports.get(dst_port)
         if handler is None:
             # TCP-RST analogue: tell the sender nobody is listening, so the
@@ -389,6 +475,9 @@ class Network:
                     src=f"{src_ip}:{msg.src[1]}",
                     dst=f"{dst_ip}:{msg.dst[1]}")
         self.kernel.call_later(delay, self._deliver, msg)
+        if self._dup:
+            # Parity with send(): reserved circuits echo like datagrams.
+            self._maybe_duplicate(msg, delay)
         return True
 
     def broadcast(self, src_ip: str, dst_ips: List[str], port: int,
@@ -423,10 +512,13 @@ class Network:
             if hb is not None:
                 hb.emit("hb", "send", msg=msg.msg_id,
                         src=f"{src_ip}:0", dst=f"{dst_ip}:{port}")
-            self.kernel.call_later(
-                delay + iface.in_link.latency
-                + self._fault_delay(src_ip, dst_ip),
-                self._deliver, msg)
+            receiver_delay = (delay + iface.in_link.latency
+                              + self._fault_delay(src_ip, dst_ip))
+            self.kernel.call_later(receiver_delay, self._deliver, msg)
+            if self._dup:
+                # Parity with send(): a receiver behind a duplicating
+                # plant segment hears the broadcast's echo too.
+                self._maybe_duplicate(msg, receiver_delay)
             reached += 1
         return reached
 

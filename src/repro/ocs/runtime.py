@@ -13,13 +13,19 @@ from __future__ import annotations
 
 import traceback
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.idl.interface import InterfaceDef, lookup_interface
+from repro.idl.interface import InterfaceDef, MethodDef, lookup_interface
 from repro.idl.types import estimated_size, resolve_exception
-from repro.net.message import DEADLINE_BYTES, Message
+from repro.net.message import (
+    CHECKSUM_BYTES,
+    DEADLINE_BYTES,
+    REQUEST_ID_BYTES,
+    Message,
+)
 from repro.net.network import Network
 from repro.ocs.admission import AdmissionGate
+from repro.ocs.replycache import ReplyCache
 from repro.ocs.exceptions import (
     AuthError,
     CallTimeout,
@@ -91,6 +97,10 @@ class _Export:
     interface: InterfaceDef
     single_threaded: bool = False
     queue: Optional[Queue] = None
+    #: at-most-once dedup for this export's non-idempotent two-way
+    #: methods.  Opting out (reply_cache=False) is only legitimate when
+    #: every such method is declared idempotent -- lint rule P006.
+    reply_cache: bool = True
 
 
 @dataclass
@@ -104,6 +114,15 @@ class _PendingCall:
 
 class OCSRuntime:
     """Object adapter + transport endpoint for one process."""
+
+    #: process-global falsifiability knobs (PR 9), flipped by the
+    #: sabotage fixtures the way broken_quorum() swaps a class property:
+    #: ``dedup_enabled=False`` builds runtimes without a reply cache
+    #: (retries double-execute -- what the at_most_once monitor must
+    #: catch); ``checksum_guard=False`` dispatches corrupt frames.
+    dedup_enabled: bool = True
+    checksum_guard: bool = True
+    reply_cache_capacity: int = 512
 
     def __init__(self, process: Process, network: Network,
                  principal: Optional[str] = None, port: Optional[int] = None):
@@ -139,6 +158,15 @@ class OCSRuntime:
         self.reject_expired: bool = True
         self.deadline_rejects = 0
         self.expired_executions = 0
+        # At-most-once machinery (PR 9): the reply cache dedups retried
+        # request ids in front of non-idempotent dispatch, and the
+        # checksum guard drops corrupt frames before they reach it.
+        self.reply_cache: Optional[ReplyCache] = (
+            ReplyCache(self.reply_cache_capacity) if self.dedup_enabled
+            else None)
+        self.verify_checksums: bool = self.checksum_guard
+        self.corrupt_dropped = 0
+        self.corrupt_dispatched = 0
         network.bind_port(self.ip, self.port, self._on_message)
         process.on_exit(self._on_process_exit)
         process.attachments["ocs"] = self
@@ -155,6 +183,26 @@ class OCSRuntime:
         """This process's identity in the happens-before graph."""
         return f"{self.ip}/{self.process.pid}"
 
+    @property
+    def client_id(self) -> str:
+        """This process's identity in request ids.
+
+        Pids are monotonic and never reused within a run, so the pair
+        ``(client_id, call_seq)`` names one logical request uniquely for
+        the lifetime of the simulation.
+        """
+        return self.hb_actor
+
+    def next_request_id(self) -> Tuple[str, int]:
+        """Mint a request id for one *logical* call.
+
+        Retry loops (``RebindingProxy``) mint one id up front and pass
+        it to every :meth:`invoke` attempt, so a server that already
+        executed the first attempt recognizes the retry.
+        """
+        self._call_counter += 1
+        return (self.client_id, self._call_counter)
+
     def hb_write(self, var: str, ver: Optional[str] = None) -> None:
         """Record a mutation of shared cluster state for the race
         detector (no-op unless the run carries an hb sink)."""
@@ -165,7 +213,8 @@ class OCSRuntime:
     # -- server side ---------------------------------------------------
 
     def export(self, servant: Any, type_id: str, object_id: str = "",
-               single_threaded: bool = False) -> ObjectRef:
+               single_threaded: bool = False,
+               reply_cache: bool = True) -> ObjectRef:
         """Make ``servant`` invocable as an object of type ``type_id``.
 
         Most services export exactly one object with a null object id
@@ -173,14 +222,17 @@ class OCSRuntime:
         objects, naming contexts) pass an explicit ``object_id``.
         ``single_threaded`` serializes calls through a queue, modelling
         the paper's single-threaded services that could not answer pings
-        while busy (section 7.2).
+        while busy (section 7.2).  ``reply_cache=False`` skips at-most-
+        once dedup for this export -- legitimate only when every two-way
+        method is declared idempotent (lint rule P006).
         """
         iface = lookup_interface(type_id)
         if object_id in self._exports:
             raise OCSError(
                 f"object id {object_id!r} already exported by {self.process.name}")
         export = _Export(servant=servant, interface=iface,
-                         single_threaded=single_threaded)
+                         single_threaded=single_threaded,
+                         reply_cache=reply_cache)
         if single_threaded:
             export.queue = Queue(self.kernel)
             self.process.create_task(
@@ -205,11 +257,16 @@ class OCSRuntime:
     def invoke(self, ref: Optional[ObjectRef], method: str, args: tuple = (),
                timeout: float = DEFAULT_CALL_TIMEOUT,
                encrypted: bool = False,
-               deadline: Optional[float] = None) -> Future:
+               deadline: Optional[float] = None,
+               request_id: Optional[Tuple[str, int]] = None) -> Future:
         """Invoke ``method`` on the remote object; returns a future.
 
         Every call carries an absolute deadline in its message envelope:
         ``deadline`` if the caller propagates one, else ``now + timeout``.
+        It also carries a ``(client_id, call_seq)`` request id -- minted
+        fresh here unless the caller passes one, which is how a retry
+        identifies itself as the *same* logical request so the server's
+        reply cache can dedup it (at-most-once execution).
         Raises (through the future) :class:`InvalidObjectReference` when
         the implementor has died, :class:`CallTimeout` when no reply
         arrives, :class:`DeadlineExceeded` when the budget expires, or
@@ -246,8 +303,11 @@ class OCSRuntime:
         self._call_counter += 1
         call_id = self._call_counter
         self.calls_sent += 1
+        if request_id is None:
+            request_id = (self.client_id, call_id)
         payload = {
             "call_id": call_id,
+            "request_id": request_id,
             "object_id": ref.object_id,
             "incarnation": ref.incarnation,
             "type_id": ref.type_id,
@@ -257,7 +317,8 @@ class OCSRuntime:
             "credentials": self.credentials,
             "encrypted": encrypted,
         }
-        wire_bytes = estimated_size(args) + DEADLINE_BYTES
+        wire_bytes = (estimated_size(args) + DEADLINE_BYTES
+                      + REQUEST_ID_BYTES + CHECKSUM_BYTES)
         if encrypted:
             wire_bytes += ENCRYPTION_OVERHEAD_BYTES
         msg = Message(
@@ -281,6 +342,21 @@ class OCSRuntime:
     def _on_message(self, msg: Message) -> None:
         if not self.process.alive:
             return
+        if msg.corrupted:
+            if self.verify_checksums:
+                # The payload checksum fails: drop the frame before any
+                # dispatch.  The sender's timeout machinery retries under
+                # the same request id, so the op still happens once.
+                self.corrupt_dropped += 1
+                trace = self.network.trace
+                if trace is not None:
+                    trace.emit("net", "corrupt_dropped",
+                               dst=f"{self.ip}:{self.port}", kind=msg.kind)
+                return
+            # Guard disabled (sabotage only): the corrupt frame reaches
+            # dispatch, which is precisely what E18 asserts never happens
+            # with the guard on.
+            self.corrupt_dispatched += 1
         if msg.kind.startswith("rpc.call."):
             self._handle_call(msg)
         elif msg.kind.startswith("rpc.reply"):
@@ -327,7 +403,29 @@ class OCSRuntime:
             self._reply_error(msg, call_id, "DeadlineExceeded",
                               f"{payload['method']} expired before dispatch")
             return
+        key = self._dedup_key(payload, export)
+        if key is not None:
+            # At-most-once gate: a retried or duplicated request id is
+            # answered from the reply cache (or parked on the inflight
+            # execution) instead of reaching the servant again.  Sits in
+            # front of admission: a replay costs no servant time, so it
+            # must not burn (or leak) an admission slot.
+            action, entry = self.reply_cache.begin(key[0], key[1])
+            if action == "replay":
+                self._send_record(msg, call_id, entry.reply,
+                                  bool(payload.get("encrypted")))
+                return
+            if action == "inflight":
+                entry.waiters.append((msg, call_id))
+                return
+            if action == "stale":
+                return   # evicted duplicate: drop, never re-execute
         if self.admission is not None and not self.admission.try_admit():
+            if key is not None:
+                # The begin() above recorded an inflight entry for a call
+                # that will now never run; forget it so the client's next
+                # retry can execute.
+                self.reply_cache.abort(key[0], key[1])
             self._reply_error(
                 msg, call_id, "Overloaded",
                 f"{self.admission.service} shedding at "
@@ -352,7 +450,8 @@ class OCSRuntime:
         payload = msg.payload
         call_id = payload["call_id"]
         method_name = payload["method"]
-        oneway = export.interface.method(method_name).oneway
+        mdef = export.interface.method(method_name)
+        oneway = mdef.oneway
         gate = self.admission
         if self.servant_lag > 0:
             # slow_consumer fault: the servant is slow to pick work off
@@ -367,6 +466,14 @@ class OCSRuntime:
                 if gate is not None:
                     gate.drop_queued()
                 self.deadline_rejects += 1
+                # The request never executed: forget its inflight reply-
+                # cache entry so a retry can run, and give any parked
+                # duplicates the same expiry verdict.
+                key = self._dedup_key(payload, export)
+                if key is not None:
+                    for wmsg, wcall_id in self.reply_cache.abort(*key):
+                        self._reply_error(wmsg, wcall_id, "DeadlineExceeded",
+                                          f"{method_name} expired in queue")
                 if not oneway:
                     self._reply_error(msg, call_id, "DeadlineExceeded",
                                       f"{method_name} expired in queue")
@@ -377,8 +484,10 @@ class OCSRuntime:
         if gate is not None:
             gate.begin()
         self.calls_served += 1
+        record: Optional[Dict[str, Any]] = None
         try:
             try:
+                self._note_effect(payload, mdef)
                 handler = getattr(export.servant, method_name, None)
                 if handler is None:
                     raise RemoteException(
@@ -387,34 +496,83 @@ class OCSRuntime:
                 result = handler(ctx, *payload["args"])
                 if hasattr(result, "__await__"):
                     result = await result
+                record = {"ok": True, "result": result}
             except CancelledError:
                 # The process died mid-call; the caller must observe silence
                 # (and eventually a timeout), not a marshaled cancellation.
                 raise
             except Exception as err:  # noqa: BLE001 - marshal back to caller
-                if not oneway:
-                    name = type(err).__name__
-                    if resolve_exception(name) is None and not isinstance(err, OCSError):
-                        detail = "".join(traceback.format_exception_only(type(err), err))
-                        self._reply_error(msg, call_id, "RemoteException", detail.strip())
-                    else:
-                        self._reply_error(msg, call_id, name, str(err))
-                return
+                if oneway:
+                    return
+                name = type(err).__name__
+                if resolve_exception(name) is None and not isinstance(err, OCSError):
+                    detail = "".join(traceback.format_exception_only(type(err), err))
+                    record = {"ok": False, "error": "RemoteException",
+                              "detail": detail.strip()}
+                else:
+                    record = {"ok": False, "error": name, "detail": str(err)}
         finally:
             if gate is not None:
                 gate.done()
         if oneway:
             return
-        reply_bytes = estimated_size(result)
-        if payload.get("encrypted"):
-            # Returns are protected the same way the call was.
-            reply_bytes += ENCRYPTION_OVERHEAD_BYTES
-        reply = Message(
-            src=(self.ip, self.port), dst=msg.src,
-            kind="rpc.reply",
-            payload={"call_id": call_id, "ok": True, "result": result},
-            payload_bytes=reply_bytes)
-        self.network.send(reply)
+        # The executed outcome (result *or* marshaled exception) is what
+        # this request id did; cache it and answer everyone waiting on it.
+        waiters = []
+        key = self._dedup_key(payload, export)
+        if key is not None:
+            waiters = self.reply_cache.complete(key[0], key[1], record)
+        self._send_record(msg, call_id, record, bool(payload.get("encrypted")))
+        for wmsg, wcall_id in waiters:
+            self._send_record(wmsg, wcall_id, record,
+                              bool(wmsg.payload.get("encrypted")))
+
+    def _dedup_key(self, payload: Dict[str, Any],
+                   export: _Export) -> Optional[Tuple[str, int]]:
+        """The reply-cache key for this call, or None when dedup does
+        not apply (no request id, cache disabled, export opted out, or
+        the method is oneway/idempotent)."""
+        request_id = payload.get("request_id")
+        if (request_id is None or self.reply_cache is None
+                or not export.reply_cache):
+            return None
+        mdef = export.interface.method(payload["method"])
+        if mdef.oneway or mdef.idempotent:
+            return None
+        return (request_id[0], request_id[1])
+
+    def _note_effect(self, payload: Dict[str, Any], mdef: MethodDef) -> None:
+        """Stamp a non-idempotent execution into the kernel's effect
+        ledger (chaos runs only) -- the at_most_once monitor's evidence."""
+        if mdef.oneway or mdef.idempotent:
+            return
+        request_id = payload.get("request_id")
+        if request_id is None:
+            return
+        ledger = self.kernel.effect_ledger
+        if ledger is not None:
+            ledger.record((request_id[0], request_id[1]),
+                          actor=self.hb_actor,
+                          method=f"{payload['type_id']}.{payload['method']}",
+                          at=self.kernel.now)
+
+    def _send_record(self, msg: Message, call_id: int, record: Dict[str, Any],
+                     encrypted: bool) -> None:
+        """Send one executed outcome (fresh or replayed) as a reply."""
+        if record["ok"]:
+            result = record["result"]
+            reply_bytes = estimated_size(result) + CHECKSUM_BYTES
+            if encrypted:
+                # Returns are protected the same way the call was.
+                reply_bytes += ENCRYPTION_OVERHEAD_BYTES
+            reply = Message(
+                src=(self.ip, self.port), dst=msg.src,
+                kind="rpc.reply",
+                payload={"call_id": call_id, "ok": True, "result": result},
+                payload_bytes=reply_bytes)
+            self.network.send(reply)
+        else:
+            self._reply_error(msg, call_id, record["error"], record["detail"])
 
     def _reply_error(self, msg: Message, call_id: int, exc_name: str,
                      detail: str, retry_after: Optional[float] = None) -> None:
@@ -424,7 +582,8 @@ class OCSRuntime:
             payload["retry_after"] = retry_after
         reply = Message(
             src=(self.ip, self.port), dst=msg.src, kind="rpc.reply.error",
-            payload=payload, payload_bytes=estimated_size(detail))
+            payload=payload,
+            payload_bytes=estimated_size(detail) + CHECKSUM_BYTES)
         self.network.send(reply)
 
     def _handle_reply(self, msg: Message) -> None:

@@ -34,11 +34,13 @@ KERNEL_VERSION = 7
 register_interface("BootBroadcast", {
     "bootInfo": ("neighborhood",),
     "broadcastCount": (),
-}, doc="Boot parameter broadcast (section 3.4.1)")
+}, doc="Boot parameter broadcast (section 3.4.1)",
+   idempotent=("bootInfo", "broadcastCount"))
 
 register_interface("KernelBroadcast", {
     "kernelVersion": (),
-}, doc="Kernel image broadcast (Figure 2)")
+}, doc="Kernel image broadcast (Figure 2)",
+   idempotent=("kernelVersion",))
 
 
 class BootBroadcastService(Service):

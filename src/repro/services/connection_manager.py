@@ -34,7 +34,10 @@ register_interface("ConnectionManager", {
     "available": ("settop_ip",),
     # internal: state push to peer replicas (section 10.1.1)
     "applyConn": ("conn_id", "record", "deleted"),
-}, doc="ATM connection allocation (Figure 2)")
+    # allocate mints circuit ids and commits bandwidth; deallocate
+    # releases it -- both stay under at-most-once dedup.
+}, doc="ATM connection allocation (Figure 2)",
+   idempotent=("connections", "available"))
 
 
 @register_exception

@@ -37,7 +37,8 @@ register_interface("File", {
     "read": (),
     "write": ("size",),
     "stat": (),
-}, doc="A UNIX file exported through the file service")
+}, doc="A UNIX file exported through the file service",
+   idempotent=("read", "stat"))
 
 FS_DISK_PREFIX = "fs/"
 

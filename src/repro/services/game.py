@@ -24,7 +24,10 @@ register_interface("Game", {
     "leave": ("game_id", "player"),
     "guess": ("game_id", "player", "number"),
     "gameState": ("game_id",),
-}, doc="Multiplayer game server (section 3)")
+    # join/leave/guess mutate scores and membership: a replayed guess
+    # must not score twice, so they stay under at-most-once dedup.
+}, doc="Multiplayer game server (section 3)",
+   idempotent=("gameState",))
 
 
 @register_exception

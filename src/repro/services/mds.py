@@ -33,16 +33,22 @@ register_interface("MDS", {
     "listTitles": (),
     "load": (),
     "listOpen": (),
-}, doc="Media Delivery Service (Figure 2)")
+    # open() commits a disk stream and mints a Movie object: dedup'd.
+}, doc="Media Delivery Service (Figure 2)",
+   idempotent=("listTitles", "load", "listOpen"))
 
 register_interface("Movie", {
+    # play/pause/playFrom set absolute transport state (playing, paused,
+    # at position X); re-executing a retry lands the same state.  close
+    # releases the stream budget exactly once, so it stays dedup'd.
     "play": (),
     "playFrom": ("position",),
     "pause": (),
     "position": (),
     "info": (),
     "close": (),
-}, doc="One open movie stream (section 3.4.4)")
+}, doc="One open movie stream (section 3.4.4)",
+   idempotent=("play", "playFrom", "pause", "position", "info"))
 
 
 @register_exception

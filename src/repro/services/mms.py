@@ -39,7 +39,8 @@ register_interface("MMS", {
     "openCount": (),
     "status": (),
     "listTitles": (),
-}, doc="Media Management Service (Figure 4)")
+}, doc="Media Management Service (Figure 4)",
+   idempotent=("openCount", "status", "listTitles"))
 
 
 @register_exception

@@ -25,7 +25,9 @@ register_interface("RDS", {
     "openData": ("name",),
     "listData": (),
     "stat": ("name",),
-}, doc="Reliable Delivery Service (Figure 2)")
+    # openData counts a download (metrics are effects too): dedup'd.
+}, doc="Reliable Delivery Service (Figure 2)",
+   idempotent=("listData", "stat"))
 
 
 @register_exception

@@ -31,7 +31,10 @@ register_interface("SettopManager", {
                                 oneway=True),
     "getStatus": ("settop_ips",),
     "listSettops": (),
-}, doc="Settop liveness tracking (Figure 2)")
+    # heartbeat/reportBoot are absolute-value upserts into the liveness
+    # table; re-executing a retry reasserts the same fact.
+}, doc="Settop liveness tracking (Figure 2)",
+   idempotent=("reportBoot", "heartbeat", "getStatus", "listSettops"))
 
 
 class SettopManagerService(Service):

@@ -21,7 +21,10 @@ register_interface("Shopping", {
     "order": ("item_id", "quantity"),
     "orderStatus": ("order_id",),
     "myOrders": (),
-}, doc="Home shopping application server (section 3)")
+    # order() mints an order id and charges the account: the canonical
+    # non-idempotent op the reply cache exists for.
+}, doc="Home shopping application server (section 3)",
+   idempotent=("catalog", "orderStatus", "myOrders"))
 
 
 @register_exception

@@ -30,7 +30,12 @@ register_interface("VOD", {
     # PR 4: catalog answer with a degraded low-bitrate fallback when the
     # MDS pool is shedding or the caller's deadline is nearly spent.
     "catalog": (),
-}, doc="VOD application server portion (section 10.1.1)")
+    # reportPosition/clearBookmark are absolute-value writes (set the
+    # bookmark to X / to absent); re-executing a retry lands the same
+    # final state, so they skip the reply cache like the reads do.
+}, doc="VOD application server portion (section 10.1.1)",
+   idempotent=("getBookmark", "reportPosition", "clearBookmark",
+               "listBookmarks", "catalog"))
 
 BOOKMARK_TABLE = "vod_bookmarks"
 

@@ -279,6 +279,11 @@ class Kernel:
         # is installed.  Same discipline as hb_log -- None by default so
         # un-audited runs pay one attribute check and emit nothing.
         self.durability_ledger: Optional[Any] = None
+        # Side-effect ledger (chaos EffectLedger): servant dispatch
+        # stamps each non-idempotent execution with its request id when
+        # one is installed, so the at_most_once monitor can prove no
+        # request ran twice.  Same None-by-default discipline as above.
+        self.effect_ledger: Optional[Any] = None
 
     @property
     def now(self) -> float:

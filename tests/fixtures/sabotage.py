@@ -75,6 +75,56 @@ def ack_before_sync_params():
     return Params(disk_write_barrier=True, ack_after_sync=False)
 
 
+#: A schedule built to exploit disabled dedup (PR 9 sabotage): heavy
+#: duplication on every server's in-link while viewers place orders and
+#: play games.  With the reply cache off, a duplicated non-idempotent
+#: call envelope executes twice on the same server -- the exact double
+#: the ``at_most_once`` monitor must report.  (No corruption here: this
+#: schedule isolates the dedup layer, not the checksum layer.)
+NO_DEDUP_SCHEDULE = FaultSchedule(faults=(
+    Fault(15.0, "duplicate", {"target": "server:0", "probability": 0.6}),
+    Fault(15.0, "duplicate", {"target": "server:1", "probability": 0.6}),
+    Fault(15.0, "duplicate", {"target": "server:2", "probability": 0.6}),
+    Fault(40.0, "kill_service", {"server": 1, "service": "mds"}),
+), horizon=120.0)
+
+
+@contextmanager
+def disabled_dedup():
+    """Servers skip the reply cache entirely (PR 9 sabotage).
+
+    Recreates the pre-PR 9 failure shape: a duplicated or retried call
+    envelope re-executes the servant.  The effect ledger still stamps
+    every execution (it is independent of the cache by design), so the
+    ``at_most_once`` monitor must notice; a monitor that stays quiet
+    under this patch is not testing anything.
+    """
+    from repro.ocs.runtime import OCSRuntime
+    original = OCSRuntime.dedup_enabled
+    OCSRuntime.dedup_enabled = False
+    try:
+        yield
+    finally:
+        OCSRuntime.dedup_enabled = original
+
+
+@contextmanager
+def disabled_checksums():
+    """Receivers dispatch corrupt frames instead of dropping them.
+
+    With the envelope checksum guard off, a payload-damaged call reaches
+    the servant; E18's ``corrupt_dispatched == 0`` assertion (and the
+    delivery collector it reads) must go red under this patch.
+    """
+    from repro.ocs.runtime import OCSRuntime
+    original = OCSRuntime.checksum_guard
+    OCSRuntime.checksum_guard = False
+    try:
+        yield
+    finally:
+        OCSRuntime.checksum_guard = original
+
+
 @contextmanager
 def wedged_replica_log():
     """db backups silently drop every replicated entry (PR 7 sabotage).

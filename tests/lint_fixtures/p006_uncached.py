@@ -1,0 +1,8 @@
+"""P006 fixture: reply_cache=False needs an all-idempotent interface."""
+
+
+def exports(runtime, servant):
+    runtime.export(servant, "Shopping", reply_cache=False)   # line 5: P006
+    runtime.export(servant, "Shopping")                      # cached: fine
+    runtime.export(servant, "Selector", reply_cache=False)   # all idempotent
+    runtime.export(servant, "Shopping", reply_cache=True)    # explicit on

@@ -179,7 +179,7 @@ class TestEngine:
     def test_rules_by_id_covers_the_full_catalog(self):
         ids = sorted(rules_by_id())
         assert ids == ([f"D00{i}" for i in range(1, 10)] + ["D010"]
-                       + [f"P00{i}" for i in range(1, 6)] + ["W001"])
+                       + [f"P00{i}" for i in range(1, 7)] + ["W001"])
 
     def test_stats_lines(self):
         report = lint_paths([os.path.join(FIXTURES, "d007_print.py")])

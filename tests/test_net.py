@@ -387,3 +387,124 @@ class TestFaultParity:
         assert len(got) == 2
         assert net.messages_duplicated == 1
         assert net.messages_delivered == 2
+
+    def test_duplicate_fault_applies_to_broadcast_and_reserved(self, kernel,
+                                                               net):
+        """PR 9 parity: duplication hits all three delivery paths."""
+        from repro.sim.rand import SeededRandom
+        server = make_server(kernel, net, 0)
+        settop = make_settop(kernel, net, 0, 0)
+        got = []
+        net.bind_port(settop.ip, 7000, got.append)
+        net.interface(settop.ip).in_link.reserve("vc-1", 3_000_000)
+        net.set_duplicate(settop.ip, 1.0, SeededRandom(5))
+        net.broadcast(server.ip, [settop.ip], 7000, "bcast", payload=None)
+        kernel.run()
+        assert len(got) == 2
+        assert net.send_reserved(
+            Message(src=(server.ip, 1), dst=(settop.ip, 7000),
+                    kind="cbr", payload_bytes=100), "vc-1") is True
+        kernel.run()
+        assert len(got) == 4
+        assert net.messages_duplicated == 2
+
+    def test_reorder_fault_lets_later_sends_overtake(self, kernel, net):
+        """A reordered message is held back, so a later send lands first."""
+        from repro.sim.rand import SeededRandom
+        a = make_server(kernel, net, 0)
+        b = make_server(kernel, net, 1)
+        got = []
+        net.bind_port(b.ip, 1, lambda m: got.append(m.kind))
+        # Probability 1 with a large skew: every message is skewed, but
+        # by a seeded-random amount, so arrival order != send order.
+        net.set_reorder(b.ip, 1.0, 5.0, SeededRandom(9))
+        for i in range(6):
+            net.send(Message(src=(a.ip, 1), dst=(b.ip, 1), kind=f"m{i}"))
+        kernel.run()
+        assert sorted(got) == [f"m{i}" for i in range(6)]  # all delivered
+        assert got != [f"m{i}" for i in range(6)]          # out of order
+        assert net.messages_reordered == 6
+
+    def test_reorder_applies_to_all_three_paths(self, kernel, net):
+        from repro.sim.rand import SeededRandom
+        server = make_server(kernel, net, 0)
+        settop = make_settop(kernel, net, 0, 0)
+        got = []
+        net.bind_port(settop.ip, 7000, got.append)
+        net.interface(settop.ip).in_link.reserve("vc-1", 3_000_000)
+        net.set_reorder(settop.ip, 1.0, 2.0, SeededRandom(4))
+        net.send(Message(src=(server.ip, 1), dst=(settop.ip, 7000),
+                         kind="x"))
+        net.broadcast(server.ip, [settop.ip], 7000, "bcast", payload=None)
+        net.send_reserved(Message(src=(server.ip, 1), dst=(settop.ip, 7000),
+                                  kind="cbr", payload_bytes=100), "vc-1")
+        kernel.run()
+        assert len(got) == 3
+        assert net.messages_reordered == 3
+
+    def test_corrupt_fault_flags_delivered_copy(self, kernel, net):
+        from repro.sim.rand import SeededRandom
+        a = make_server(kernel, net, 0)
+        b = make_server(kernel, net, 1)
+        got = []
+        net.bind_port(b.ip, 1, got.append)
+        net.set_corrupt(b.ip, 1.0, SeededRandom(2))
+        msg = Message(src=(a.ip, 1), dst=(b.ip, 1), kind="x",
+                      payload={"k": "v"})
+        net.send(msg)
+        kernel.run()
+        assert len(got) == 1
+        assert got[0].corrupted
+        assert not msg.corrupted            # the sender's copy is untouched
+        assert got[0].payload == {"k": "v"}  # flag, not mutation
+        assert net.messages_corrupted == 1
+
+    def test_corrupt_rolls_per_delivery_including_duplicates(self, kernel,
+                                                             net):
+        """Each delivery (original or duplicate echo) rolls corruption
+        independently: a seed where one copy arrives clean proves the
+        duplicate is not aliased to the corrupted one."""
+        from repro.sim.rand import SeededRandom
+        a = make_server(kernel, net, 0)
+        b = make_server(kernel, net, 1)
+        got = []
+        net.bind_port(b.ip, 1, got.append)
+        net.set_duplicate(b.ip, 1.0, SeededRandom(5))
+        net.set_corrupt(b.ip, 0.5, SeededRandom(12))
+        for i in range(8):
+            net.send(Message(src=(a.ip, 1), dst=(b.ip, 1), kind=f"m{i}"))
+        kernel.run()
+        assert len(got) == 16
+        flags = {m.corrupted for m in got}
+        assert flags == {True, False}       # some corrupted, some clean
+        assert net.messages_corrupted == sum(1 for m in got if m.corrupted)
+
+    def test_clear_faults_clears_reorder_and_corrupt(self, kernel, net):
+        from repro.sim.rand import SeededRandom
+        a = make_server(kernel, net, 0)
+        b = make_server(kernel, net, 1)
+        got = []
+        net.bind_port(b.ip, 1, got.append)
+        net.set_reorder(b.ip, 1.0, 5.0, SeededRandom(1))
+        net.set_corrupt(b.ip, 1.0, SeededRandom(2))
+        net.clear_faults()
+        net.send(Message(src=(a.ip, 1), dst=(b.ip, 1), kind="x"))
+        start = kernel.now
+        kernel.run()
+        assert len(got) == 1 and not got[0].corrupted
+        assert kernel.now - start < 1.0
+        assert net.messages_reordered == 0 and net.messages_corrupted == 0
+
+    def test_reorder_and_corrupt_validate_arguments(self, net):
+        from repro.sim.rand import SeededRandom
+        rng = SeededRandom(0)
+        with pytest.raises(ValueError):
+            net.set_reorder("10.0.0.1", 1.5, 1.0, rng)
+        with pytest.raises(ValueError):
+            net.set_reorder("10.0.0.1", 0.5, 0.0, rng)
+        with pytest.raises(ValueError):
+            net.set_corrupt("10.0.0.1", -0.1, rng)
+        # Zero probability uninstalls rather than registers.
+        net.set_reorder("10.0.0.1", 0.0, 1.0, rng)
+        net.set_corrupt("10.0.0.1", 0.0, rng)
+        assert not net._reorder and not net._corrupt
