@@ -26,6 +26,50 @@ SCHEMA = "repro-bench/1"
 #: ``trace_select.speedup`` below this fails ``repro bench`` (DESIGN.md §8).
 MIN_SELECT_SPEEDUP = 3.0
 
+#: throughput metrics gated by ``repro bench --check`` (DESIGN.md §16):
+#: benchmark name -> the per-second key compared against the committed
+#: baseline.  Throughputs, not wall times: wall varies with load and
+#: machine, while a same-machine throughput floor is a stable signal.
+GATED_METRICS = {
+    "kernel_timers": "events_per_sec",
+    "network_send": "messages_per_sec",
+    "trace_emit": "events_per_sec",
+}
+
+#: a gated throughput may fall this far below the baseline before
+#: ``--check`` fails: wide enough to absorb run-to-run noise on CI
+#: runners, tight enough to catch a real hot-path regression.
+REGRESSION_TOLERANCE = 0.30
+
+
+def load_baseline(path: str):
+    """The committed baseline at ``path``, or None when absent/garbled
+    (first run on a fresh machine: nothing to gate against yet)."""
+    try:
+        with open(path) as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    return baseline if isinstance(baseline, dict) else None
+
+
+def compare_to_baseline(results: Dict[str, Any], baseline) -> List[str]:
+    """Regression report: one line per gated metric more than
+    ``REGRESSION_TOLERANCE`` below the baseline; empty when healthy."""
+    failures: List[str] = []
+    base_benchmarks = (baseline or {}).get("benchmarks", {})
+    for name, key in GATED_METRICS.items():
+        base = base_benchmarks.get(name, {}).get(key)
+        got = results["benchmarks"].get(name, {}).get(key)
+        if not base or got is None:
+            continue  # the baseline predates this metric; nothing to gate
+        floor = base * (1.0 - REGRESSION_TOLERANCE)
+        if got < floor:
+            failures.append(
+                f"{name}.{key} regressed: {got:.0f}/s < floor {floor:.0f}/s "
+                f"(baseline {base:.0f}/s - {REGRESSION_TOLERANCE:.0%})")
+    return failures
+
 
 def _timed(fn: Callable[[], Any]) -> Dict[str, Any]:
     t0 = time.perf_counter()

@@ -26,8 +26,11 @@ KILLABLE_SERVICES = ["mds", "rds", "mms", "cmgr", "vod", "shopping", "game",
 SURGEABLE_SERVICES = ["vod", "shopping", "mms", "mds"]
 
 #: durable keys a generated disk_corrupt may bit-rot: the replication
-#: state the PR 8 recovery paths must survive losing (PR 8).
-DISK_FAULT_KEYS = ["dbrepl/changelog", "ns/changelog", "ns/state"]
+#: state the PR 8 recovery paths must survive losing (PR 8).  The
+#: change logs persist per-entry (schema 2), so the faults target the
+#: first entry key -- garbling it invalidates the whole on-disk chain,
+#: the worst case the truncate-to-valid-prefix recovery must absorb.
+DISK_FAULT_KEYS = ["dbrepl/changelog.e/1", "ns/changelog.e/1", "ns/state"]
 
 SCHEDULE_FORMAT_VERSION = 1
 

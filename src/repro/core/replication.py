@@ -126,12 +126,34 @@ class ChangeLog:
     at that seq, so at quiesce equal digests mean byte-identical update
     histories -- the cross-replica conformance oracle.
 
+    On-disk layout (schema 2): each entry persists under its own key
+    (``<disk_key>.e/<seq>`` holding ``(seq, epoch, op, chained_sum)``),
+    so an append writes one small record instead of rewriting the whole
+    retained window -- O(1) bytes per append where schema 1 paid
+    O(retain).  The header key (``disk_key``) holds only the compaction
+    watermark -- ``{schema, base_seq, base_epoch, base_digest,
+    base_sum, compactions}`` -- and is (re)written only when the
+    watermark moves (compaction, snapshot adoption); a missing header
+    just means the log never compacted, and recovery scans entry keys
+    forward from the genesis base.  ``seq`` and ``digest`` are not
+    persisted at all: recovery re-derives both by walking the entry
+    chain from the header's base.
+
+    Compaction runs with hysteresis: the log grows to ``2 * retain``
+    entries, then cuts back to ``retain`` in one step, so steady-state
+    appends trigger one compaction per ``retain`` appends instead of
+    one per append.  The compaction write order is header first (via
+    :func:`atomic_disk_write`), dropped entry keys after: a crash in
+    between strands orphan entry keys below the new watermark, which
+    recovery sweeps and which never shadow live entries.
+
     Against the PR 8 storage fault model the log defends itself: every
     persisted entry carries a chained checksum (``_entry_sum``), reopen
-    validates the chain and truncates to the last valid prefix
-    (``recovered_truncated``), unreadable garbage falls back to the
-    write-swap spare and then to an empty log (``recovered_corrupt``),
-    and log-shrinking writes go through :func:`atomic_disk_write`.
+    validates the chain and truncates (and deletes) the invalid suffix
+    (``recovered_truncated``), an unreadable-garbage header falls back
+    to the write-swap spare and then to an empty log
+    (``recovered_corrupt``), and header rewrites go through
+    :func:`atomic_disk_write`.
     """
 
     def __init__(self, disk, disk_key: str, retain: int = 512,
@@ -155,14 +177,21 @@ class ChangeLog:
         self.base_sum = ""
         self.digest = ""
         self.compactions = 0
-        state = self._load_state()
-        if state is not None:
-            self._recover(state)
+        self._recover(self._load_state())
 
     # -- crash recovery ------------------------------------------------
 
+    def _entry_key(self, seq: int) -> str:
+        return f"{self.disk_key}.e/{seq}"
+
     def _load_state(self):
-        """Prefer the main copy; fall back to the write-swap spare."""
+        """Prefer the main header copy; fall back to the write-swap spare.
+
+        Returns None both for "never compacted" (no header was ever
+        written -- a fresh or young log) and for "header is garbage"
+        (``recovered_corrupt`` set); either way recovery scans entry
+        keys from the genesis base.
+        """
         main = self.disk.read(self.disk_key)
         if self._state_shape_ok(main):
             return main
@@ -177,37 +206,43 @@ class ChangeLog:
 
     @staticmethod
     def _state_shape_ok(state) -> bool:
-        if not isinstance(state, dict):
+        if not isinstance(state, dict) or state.get("schema") != 2:
             return False
         return (all(isinstance(state.get(k), int)
-                    for k in ("seq", "base_seq", "compactions"))
+                    for k in ("base_seq", "compactions"))
                 and all(isinstance(state.get(k), str)
-                        for k in ("digest", "base_digest", "base_sum"))
-                and isinstance(state.get("entries"), list)
+                        for k in ("base_digest", "base_sum"))
                 and "base_epoch" in state)
 
     def _recover(self, state) -> None:
         """Adopt the longest self-consistent prefix of the on-disk log.
 
-        Entries are validated in order against the checksum chain rooted
-        at ``base_sum``; the first torn/garbled/mis-numbered entry and
-        everything after it are truncated (they were never synced, so by
+        Starting at the header's watermark (or the genesis base when no
+        header exists), entry keys are probed forward and validated
+        against the checksum chain rooted at ``base_sum``; the first
+        torn/garbled/mis-numbered entry and everything after it are
+        truncated and their keys deleted (they were never synced, so by
         the sync-before-ack discipline nothing acknowledged is lost).
-        The running digest is rebuilt from ``base_digest`` over the
-        surviving prefix rather than trusted from the (possibly stale)
-        persisted scalar.
+        ``seq`` and the running digest are both re-derived from the
+        surviving prefix.  Orphan entry keys below the watermark (a
+        crash between a compaction's header write and its key deletes)
+        are swept here too.
         """
-        self.base_seq = state["base_seq"]
-        self.base_epoch = state["base_epoch"]
-        self.base_digest = state["base_digest"]
-        self.base_sum = state["base_sum"]
-        self.compactions = state["compactions"]
+        if state is not None:
+            self.base_seq = state["base_seq"]
+            self.base_epoch = state["base_epoch"]
+            self.base_digest = state["base_digest"]
+            self.base_sum = state["base_sum"]
+            self.compactions = state["compactions"]
         seq, digest, prev_sum = self.base_seq, self.base_digest, self.base_sum
         entries: List[LogEntry] = []
         sums: List[str] = []
-        raw = state["entries"]
+        read = self.disk.read
         dropped = 0
-        for i, item in enumerate(raw):
+        while True:
+            item = read(self._entry_key(seq + 1))
+            if item is None:
+                break
             ok = (isinstance(item, (list, tuple)) and len(item) == 4
                   and item[0] == seq + 1)
             if ok:
@@ -215,7 +250,15 @@ class ChangeLog:
                 ok = (isinstance(e_op, tuple)
                       and e_sum == _entry_sum(prev_sum, e_seq, e_epoch, e_op))
             if not ok:
-                dropped = len(raw) - i
+                # Count and delete the whole invalid suffix: entries past
+                # the break can never re-anchor to the chain, and leaving
+                # their keys behind would shadow future appends at the
+                # same sequence numbers across a later crash.
+                probe = seq + 1
+                while read(self._entry_key(probe)) is not None:
+                    self.disk.delete(self._entry_key(probe))
+                    dropped += 1
+                    probe += 1
                 break
             entries.append((e_seq, e_epoch, e_op))
             sums.append(e_sum)
@@ -227,8 +270,12 @@ class ChangeLog:
         self.seq = seq
         self.digest = digest
         self.recovered_truncated = dropped
-        if dropped:
-            self._persist(swap=True)
+        # Sweep compaction orphans below the watermark (none in a clean
+        # shutdown; bounded by one cut per crashed compaction).
+        probe = self.base_seq
+        while probe > 0 and read(self._entry_key(probe)) is not None:
+            self.disk.delete(self._entry_key(probe))
+            probe -= 1
 
     # -- mutation ------------------------------------------------------
 
@@ -253,35 +300,54 @@ class ChangeLog:
 
     def _add(self, seq: int, epoch, op: tuple) -> None:
         prev_sum = self._sums[-1] if self._sums else self.base_sum
+        entry_sum = _entry_sum(prev_sum, seq, epoch, op)
         self.entries.append((seq, epoch, op))
-        self._sums.append(_entry_sum(prev_sum, seq, epoch, op))
+        self._sums.append(entry_sum)
         self.seq = seq
         self.digest = _chain_digest(self.digest, seq, op)
-        compacted = False
-        if len(self.entries) > self.retain:
-            cut = len(self.entries) - self.retain
-            # The base digest/sum advance over the dropped entries so a
-            # recovery scan can re-anchor the chains at the new watermark.
-            for d_seq, _d_epoch, d_op in self.entries[:cut]:
-                self.base_digest = _chain_digest(self.base_digest, d_seq, d_op)
-            self.base_sum = self._sums[cut - 1]
-            last_dropped = self.entries[cut - 1]
-            del self.entries[:cut]
-            del self._sums[:cut]
-            self.base_seq = last_dropped[0]
-            self.base_epoch = last_dropped[1]
-            self.compactions += 1
-            compacted = True
-            # Hook fires BEFORE the truncated log is persisted: a crash
-            # inside (or right after) the owner's snapshot write leaves
-            # the pre-compaction log on disk, so no state is lost -- the
-            # truncation and the snapshot commit together or not at all.
-            if self.on_compact is not None:
-                self.on_compact()
-        self._persist(swap=compacted)
+        # The whole append persists as one small record; the header does
+        # not change (recovery re-derives seq/digest from the chain).
+        self.disk.write(self._entry_key(seq), (seq, epoch, op, entry_sum))
+        # Hysteresis: let the log grow to twice the retained window, then
+        # cut back to ``retain`` in one step -- one compaction (and one
+        # header rewrite + snapshot hook) per ``retain`` appends, not one
+        # per append at the high-water mark.
+        if len(self.entries) > 2 * self.retain:
+            self._compact()
+
+    def _compact(self) -> None:
+        cut = len(self.entries) - self.retain
+        # The base digest/sum advance over the dropped entries so a
+        # recovery scan can re-anchor the chains at the new watermark.
+        for d_seq, _d_epoch, d_op in self.entries[:cut]:
+            self.base_digest = _chain_digest(self.base_digest, d_seq, d_op)
+        self.base_sum = self._sums[cut - 1]
+        last_dropped = self.entries[cut - 1]
+        old_base = self.base_seq
+        del self.entries[:cut]
+        del self._sums[:cut]
+        self.base_seq = last_dropped[0]
+        self.base_epoch = last_dropped[1]
+        self.compactions += 1
+        # Hook fires BEFORE the truncated log is persisted: a crash
+        # inside (or right after) the owner's snapshot write leaves
+        # the pre-compaction log on disk, so no state is lost -- the
+        # truncation and the snapshot commit together or not at all.
+        if self.on_compact is not None:
+            self.on_compact()
+        # Header first, dropped keys after: once the watermark is
+        # durable, the dropped entries are dead weight whichever subset
+        # of the deletes survives a crash (recovery sweeps the orphans).
+        # The reverse order could lose acknowledged entries -- deleted
+        # keys with a header that still claims the old base.
+        self._persist_header()
+        delete = self.disk.delete
+        for s in range(old_base + 1, self.base_seq + 1):
+            delete(self._entry_key(s))
 
     def reset(self, seq: int, epoch, digest: str) -> None:
         """Adopt a snapshot: the log restarts empty at the sender's seq."""
+        old_lo, old_hi = self.base_seq + 1, self.seq
         self.entries = []
         self._sums = []
         self.seq = seq
@@ -290,27 +356,25 @@ class ChangeLog:
         self.base_digest = digest
         self.base_sum = ""
         self.digest = digest
-        self._persist(swap=True)
+        # Same ordering discipline as _compact: the new watermark becomes
+        # durable before the old history's keys go away.
+        self._persist_header()
+        for s in range(old_lo, old_hi + 1):
+            self.disk.delete(self._entry_key(s))
 
-    def _persist(self, swap: bool = False) -> None:
+    def _persist_header(self) -> None:
         state = {
-            "entries": [(s, e, o, c)
-                        for (s, e, o), c in zip(self.entries, self._sums)],
-            "seq": self.seq,
+            "schema": 2,
             "base_seq": self.base_seq,
             "base_epoch": self.base_epoch,
             "base_digest": self.base_digest,
             "base_sum": self.base_sum,
-            "digest": self.digest,
             "compactions": self.compactions,
         }
-        if swap:
-            # Compactions and snapshot adoptions are the writes that
-            # *shrink* the log -- the only writes where a torn copy
-            # could lose both the old and the new state.
-            atomic_disk_write(self.disk, self.disk_key, state)
-        else:
-            self.disk.write(self.disk_key, state)
+        # Every header write moves the watermark and thereby *shrinks*
+        # the log -- exactly the writes where a torn copy could lose
+        # both the old and the new state -- so all of them swap.
+        atomic_disk_write(self.disk, self.disk_key, state)
 
     # -- queries -------------------------------------------------------
 

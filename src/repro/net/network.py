@@ -81,6 +81,14 @@ class Network:
         self.messages_corrupted: int = 0
         # kind -> [count, bytes]: one dict probe per send instead of four.
         self._kind_stats: Dict[str, List[int]] = {}
+        # dst ip -> [deliver_at, kernel_seq, msgs]: open same-tick delivery
+        # batch.  Consecutive sends to one destination that compute the
+        # same delivery instant -- and between which *nothing else* was
+        # scheduled (kernel._seq unchanged) -- share one kernel event
+        # instead of one event each.  The seq guard is what keeps the
+        # collapse order-preserving: if no event was armed in between,
+        # nothing could have interleaved the two deliveries anyway.
+        self._batches: Dict[str, list] = {}
 
     @property
     def sent_by_kind(self) -> Dict[str, int]:
@@ -344,9 +352,32 @@ class Network:
             hb.emit("hb", "send", msg=msg.msg_id,
                     src=f"{src_ip}:{msg.src[1]}",
                     dst=f"{dst_ip}:{msg.dst[1]}")
-        self.kernel.call_later(delay, self._deliver, msg)
+        kernel = self.kernel
+        when = kernel._now + delay
+        batch = self._batches.get(dst_ip)
+        if batch is not None and batch[0] == when and batch[1] == kernel._seq:
+            batch[2].append(msg)
+        else:
+            msgs = [msg]
+            kernel.call_at(when, self._deliver_batch, msgs, pooled=True)
+            self._batches[dst_ip] = [when, kernel._seq, msgs]
         if self._dup:
             self._maybe_duplicate(msg, delay)
+
+    def _deliver_batch(self, msgs: List[Message]) -> None:
+        """Deliver a same-instant batch in arrival order.
+
+        Equivalent to one ``_deliver`` event per message: the batch only
+        ever absorbed sends whose events would have been seq-adjacent
+        (see the guard in :meth:`send`), so back-to-back delivery within
+        one event is the order the kernel would have produced anyway.
+        """
+        deliver = self._deliver
+        for msg in msgs:
+            deliver(msg)
+        # A fired batch can never be appended to again (its deliver_at
+        # lies in the past), so drop the envelope references eagerly.
+        del msgs[:]
 
     def _fault_delay(self, src_ip: str, dst_ip: str) -> float:
         """Extra one-way delay from injected delay/gray/reorder faults
@@ -380,7 +411,18 @@ class Network:
             if self.trace is not None:
                 self.trace.emit("net", "duplicate", dst=msg.dst[0],
                                 kind=msg.kind)
-            self.kernel.call_later(delay + FDDI_LATENCY, self._deliver, msg)
+            # The echo must be a distinct envelope: the first delivery's
+            # receiver may release() a consumed-on-delivery message back
+            # to the pool, and a pooled (or recycled) envelope must never
+            # still be sitting in the event queue.  Same msg_id -- it is
+            # the same datagram on the wire.
+            echo = Message(src=msg.src, dst=msg.dst, kind=msg.kind,
+                           payload=msg.payload,
+                           payload_bytes=msg.payload_bytes,
+                           msg_id=msg.msg_id, deadline=msg.deadline,
+                           corrupted=msg.corrupted)
+            self.kernel.call_later(delay + FDDI_LATENCY, self._deliver, echo,
+                                   pooled=True)
 
     def _maybe_corrupt(self, msg: Message, dst_ip: str) -> Message:
         """Roll the corruption fault for one delivery; a hit hands the
@@ -434,10 +476,11 @@ class Network:
         handler = iface.ports.get(src_port)
         if handler is None:
             return
-        notice = Message(
+        notice = Message.acquire(
             src=original.dst, dst=original.src, kind="port_unreachable",
             payload={"msg_id": original.msg_id}, payload_bytes=0)
-        self.kernel.call_later(FDDI_LATENCY, self._deliver_notice, notice, handler)
+        self.kernel.call_later(FDDI_LATENCY, self._deliver_notice, notice,
+                               handler, pooled=True)
 
     def _deliver_notice(self, notice: Message, handler: Callable[[Message], None]) -> None:
         iface = self._interfaces.get(notice.dst[0])
@@ -474,7 +517,7 @@ class Network:
             hb.emit("hb", "send", msg=msg.msg_id,
                     src=f"{src_ip}:{msg.src[1]}",
                     dst=f"{dst_ip}:{msg.dst[1]}")
-        self.kernel.call_later(delay, self._deliver, msg)
+        self.kernel.call_later(delay, self._deliver, msg, pooled=True)
         if self._dup:
             # Parity with send(): reserved circuits echo like datagrams.
             self._maybe_duplicate(msg, delay)
@@ -514,7 +557,8 @@ class Network:
                         src=f"{src_ip}:0", dst=f"{dst_ip}:{port}")
             receiver_delay = (delay + iface.in_link.latency
                               + self._fault_delay(src_ip, dst_ip))
-            self.kernel.call_later(receiver_delay, self._deliver, msg)
+            self.kernel.call_later(receiver_delay, self._deliver, msg,
+                                   pooled=True)
             if self._dup:
                 # Parity with send(): a receiver behind a duplicating
                 # plant segment hears the broadcast's echo too.

@@ -360,9 +360,16 @@ class OCSRuntime:
         if msg.kind.startswith("rpc.call."):
             self._handle_call(msg)
         elif msg.kind.startswith("rpc.reply"):
+            # Replies are consumed synchronously by the dispatch above
+            # (result/error values are extracted, never the envelope), so
+            # the envelope goes back to the free list here.  Call
+            # envelopes are NOT released: servants park them in queues,
+            # reply-cache waiter lists and async frames.
             self._handle_reply(msg)
+            msg.release()
         elif msg.kind == "port_unreachable":
             self._handle_unreachable(msg)
+            msg.release()
 
     def _handle_call(self, msg: Message) -> None:
         payload = msg.payload
@@ -565,7 +572,7 @@ class OCSRuntime:
             if encrypted:
                 # Returns are protected the same way the call was.
                 reply_bytes += ENCRYPTION_OVERHEAD_BYTES
-            reply = Message(
+            reply = Message.acquire(
                 src=(self.ip, self.port), dst=msg.src,
                 kind="rpc.reply",
                 payload={"call_id": call_id, "ok": True, "result": result},
@@ -580,7 +587,7 @@ class OCSRuntime:
                    "error": exc_name, "detail": detail}
         if retry_after is not None:
             payload["retry_after"] = retry_after
-        reply = Message(
+        reply = Message.acquire(
             src=(self.ip, self.port), dst=msg.src, kind="rpc.reply.error",
             payload=payload,
             payload_bytes=estimated_size(detail) + CHECKSUM_BYTES)

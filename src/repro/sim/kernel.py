@@ -1,21 +1,37 @@
 """Virtual-time event loop with ``async``/``await`` support.
 
-The kernel is a classic discrete-event scheduler: a heap of
+The kernel is a classic discrete-event scheduler: a timer backend of
 ``(time, sequence, callback)`` entries plus a FIFO fast lane for
 callbacks scheduled *at the current timestamp* (``call_soon`` and past
-``call_at`` targets).  Time only advances when the heap is popped, so a
+``call_at`` targets).  Time only advances when a timer fires, so a
 million simulated seconds of idle polling costs only the poll events
 themselves.  Everything above this file -- the network, OCS, the name
 service, the ITV services -- is written as ordinary ``async`` code
 awaiting :class:`Future` objects created here.
 
+Future timers live in a pluggable backend (``repro.sim.wheel``): a
+hierarchical timer wheel by default (O(1) arm/cancel, comparisons only
+within one time slot), or the original binary heap
+(``Kernel(timer_backend="heap")``), kept as the reference oracle for the
+differential suite in ``tests/test_timer_wheel.py``.  Both yield the
+same ``(when, seq)`` pop order, so traces are byte-identical across
+backends.
+
 The fast lane is purely an optimisation: every handle still carries a
 global sequence number and the run loop always executes the lowest
 ``(when, seq)`` pair across both containers, so the observable event
-order (and therefore every trace) is identical to the single-heap
+order (and therefore every trace) is identical to the single-container
 scheduler.  ``call_soon`` is the hottest scheduling call (every future
 completion funnels through it), and a deque append/popleft avoids the
-O(log n) sift the heap would charge per callback.
+O(log n) sift a heap would charge per callback.
+
+Internal hot paths additionally recycle :class:`TimerHandle` shells
+through a free list (``pooled=True`` on the scheduling calls).  Pooling
+is opt-in per call site and only used where the handle provably never
+escapes (future callbacks, ``sleep``, network delivery events) -- a
+caller that keeps a handle to ``cancel()`` later must never pool it.
+Recycled handles are reset on release and checked on acquire; a stale
+shell raises :class:`~repro.sim.errors.PoolHygieneError`.
 
 Determinism: ties in time are broken by insertion sequence number, and all
 randomness in the simulation goes through :class:`repro.sim.rand.SeededRandom`,
@@ -24,7 +40,6 @@ so two runs with the same seed produce byte-identical traces.
 
 from __future__ import annotations
 
-import heapq
 import weakref
 from collections import deque
 from typing import Any, Callable, Iterable, List, Optional
@@ -33,8 +48,15 @@ from repro.sim.errors import (
     CancelledError,
     InvalidStateError,
     KernelStopped,
+    PoolHygieneError,
     SimTimeoutError,
 )
+from repro.sim.wheel import TimerHeap, TimerWheel
+
+#: Upper bound on the handle free list; beyond this, retired shells are
+#: simply dropped for the garbage collector (burst workloads should not
+#: pin a worst-case pool forever).
+_HANDLE_POOL_CAP = 4096
 
 _PENDING = "PENDING"
 _DONE = "DONE"
@@ -128,7 +150,7 @@ class Future:
 
     def add_done_callback(self, fn: Callable[["Future"], None]) -> None:
         if self.done():
-            self._kernel.call_soon(fn, self)
+            self._kernel.call_soon(fn, self, pooled=True)
         else:
             self._callbacks.append(fn)
 
@@ -140,7 +162,9 @@ class Future:
     def _schedule_callbacks(self) -> None:
         callbacks, self._callbacks = self._callbacks, []
         for cb in callbacks:
-            self._kernel.call_soon(cb, self)
+            # pooled: completion-callback handles are fired-and-forgotten
+            # by construction -- nothing outside the kernel sees them.
+            self._kernel.call_soon(cb, self, pooled=True)
 
     def __await__(self):
         if not self.done():
@@ -176,7 +200,7 @@ class Task(Future):
         # weakref.finalize holds the coroutine alive until the task is
         # collected and is guaranteed to run before either finalizer.
         self._coro_closer = weakref.finalize(self, _close_coro_quietly, coro)
-        kernel.call_soon(self._step)
+        kernel.call_soon(self._step, pooled=True)
 
     def cancel(self) -> bool:
         if self.done():
@@ -261,14 +285,21 @@ class Kernel:
     / :meth:`wait_for` inside coroutines.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, timer_backend: str = "wheel") -> None:
         self._now = 0.0
-        self._heap: List[Any] = []
+        if timer_backend == "wheel":
+            self._timers: Any = TimerWheel(on_drop=self._on_timer_drop)
+        elif timer_backend == "heap":
+            self._timers = TimerHeap(on_drop=self._on_timer_drop)
+        else:
+            raise ValueError(f"unknown timer backend: {timer_backend!r}")
+        self.timer_backend = timer_backend
+        self._timer_count = 0   # mirrors len(self._timers); int ops beat calls
         self._ready: "deque[TimerHandle]" = deque()
         self._seq = 0
         self._stopped = False
         self._task_count = 0
-        self._heap_cancelled = 0
+        self._handle_pool: List["TimerHandle"] = []
         # Happens-before instrumentation sink (a TraceLog, usually the
         # cluster's own).  None (the default) keeps every emission site a
         # single attribute check, so runs that do not ask for HB events
@@ -292,53 +323,96 @@ class Kernel:
 
     # -- scheduling ---------------------------------------------------
 
-    def call_at(self, when: float, fn: Callable, *args: Any) -> "TimerHandle":
+    def call_at(self, when: float, fn: Callable, *args: Any,
+                pooled: bool = False) -> "TimerHandle":
         if self._stopped:
             raise KernelStopped("kernel has been stopped")
         self._seq += 1
         if when <= self._now:
             # Fast lane: already due.  The deque is FIFO and every handle
             # in it shares when == now, so seq order is preserved.
-            handle = TimerHandle(self._now, self._seq, fn, args, self)
+            handle = self._new_handle(self._now, self._seq, fn, args, pooled)
             self._ready.append(handle)
         else:
-            handle = TimerHandle(when, self._seq, fn, args, self)
-            handle._in_heap = True
-            heapq.heappush(self._heap, handle)
+            handle = self._new_handle(when, self._seq, fn, args, pooled)
+            handle._in_timers = True
+            self._timer_count += 1
+            self._timers.push(handle)
         return handle
 
-    def call_later(self, delay: float, fn: Callable, *args: Any) -> "TimerHandle":
-        return self.call_at(self._now + max(0.0, delay), fn, *args)
+    def call_later(self, delay: float, fn: Callable, *args: Any,
+                   pooled: bool = False) -> "TimerHandle":
+        # Body duplicated from call_at: this is the second-hottest
+        # scheduling path (every network delivery), and the extra frame
+        # plus *args repack showed up in the timer bench.
+        if self._stopped:
+            raise KernelStopped("kernel has been stopped")
+        when = self._now if delay <= 0.0 else self._now + delay
+        self._seq += 1
+        handle = self._new_handle(when, self._seq, fn, args, pooled)
+        if when <= self._now:
+            self._ready.append(handle)
+        else:
+            handle._in_timers = True
+            self._timer_count += 1
+            self._timers.push(handle)
+        return handle
 
-    def call_soon(self, fn: Callable, *args: Any) -> "TimerHandle":
+    def call_soon(self, fn: Callable, *args: Any,
+                  pooled: bool = False) -> "TimerHandle":
         """Schedule ``fn`` at the current timestamp (FIFO fast lane).
 
         This is the hottest scheduling path -- every future completion
-        callback lands here -- so it skips the heap entirely.
+        callback lands here -- so it skips the timer backend entirely.
         """
         if self._stopped:
             raise KernelStopped("kernel has been stopped")
         self._seq += 1
-        handle = TimerHandle(self._now, self._seq, fn, args, self)
+        handle = self._new_handle(self._now, self._seq, fn, args, pooled)
         self._ready.append(handle)
         return handle
 
-    def _note_cancelled_in_heap(self) -> None:
-        """A heap-resident handle was cancelled; compact when they dominate.
+    # -- handle pooling -----------------------------------------------
 
-        Cancelled handles are normally dropped lazily at pop time, but
-        workloads that arm-and-disarm many long timers (``wait_for``
-        timeouts are the archetype) can leave the heap mostly dead.
-        Rebuilding via ``heapify`` keeps ``(when, seq)`` order exactly, so
-        the compaction is invisible to event ordering.
+    def _new_handle(self, when: float, seq: int, fn: Callable, args: tuple,
+                    pooled: bool) -> "TimerHandle":
+        """A fresh or recycled handle; ``pooled`` marks it recyclable.
+
+        Only internal call sites that provably drop the handle on the
+        floor pass ``pooled=True`` -- anything handed to a caller that
+        may ``cancel()`` it later must be a throwaway object, because a
+        recycled shell belongs to a *different* timer by then.
         """
-        self._heap_cancelled += 1
-        if (self._heap_cancelled > 64
-                and self._heap_cancelled * 2 > len(self._heap)):
-            # In place: the run loop holds a reference to this list.
-            self._heap[:] = [h for h in self._heap if not h.cancelled]
-            heapq.heapify(self._heap)
-            self._heap_cancelled = 0
+        if pooled:
+            pool = self._handle_pool
+            if pool:
+                handle = pool.pop()
+                if handle.fn is not None or handle.args or handle.cancelled:
+                    raise PoolHygieneError(
+                        "recycled TimerHandle carries stale state "
+                        f"(fn={handle.fn!r}, cancelled={handle.cancelled})")
+                handle.when = when
+                handle.seq = seq
+                handle.fn = fn
+                handle.args = args
+                return handle
+        return TimerHandle(when, seq, fn, args, self, pooled=pooled)
+
+    def _recycle_handle(self, handle: "TimerHandle") -> None:
+        """Reset-on-release: clear the shell, then free-list it."""
+        handle.fn = None
+        handle.args = ()
+        handle.cancelled = False
+        handle._in_timers = False
+        pool = self._handle_pool
+        if len(pool) < _HANDLE_POOL_CAP:
+            pool.append(handle)
+
+    def _on_timer_drop(self, handle: "TimerHandle") -> None:
+        """Backend reaped a cancelled handle (never handed back to us)."""
+        self._timer_count -= 1
+        if handle._pooled:
+            self._recycle_handle(handle)
 
     # -- tasks and futures --------------------------------------------
 
@@ -352,7 +426,7 @@ class Kernel:
     def sleep(self, delay: float) -> Future:
         """Return a future completing ``delay`` simulated seconds from now."""
         fut = self.create_future()
-        self.call_later(delay, _set_result_if_pending, fut, None)
+        self.call_later(delay, _set_result_if_pending, fut, None, pooled=True)
         return fut
 
     def wait_for(self, awaitable, timeout: float) -> Future:
@@ -402,41 +476,48 @@ class Kernel:
         the last event fired earlier (so repeated ``run(until=...)`` calls
         observe a monotone clock).
         """
-        heap = self._heap
+        timers = self._timers
         ready = self._ready
-        heappop = heapq.heappop
+        peek = timers.peek
         while not self._stopped:
             # The next event is the lowest (when, seq) across the ready
-            # deque and the heap.  Ready handles all sit at when == now,
-            # which is <= every heap entry, so the only real contest is a
-            # heap entry at the same timestamp with an earlier seq.
+            # deque and the timer backend.  Ready handles all sit at
+            # when == now, which is <= every queued timer, so the only
+            # real contest is a timer at the same timestamp with an
+            # earlier seq.  peek() skips cancelled timers, so only the
+            # ready lane can surface a cancelled head here.
             if ready:
                 head = ready[0]
-                from_heap = bool(heap) and heap[0] < head
-                if from_heap:
-                    head = heap[0]
-            elif heap:
-                head = heap[0]
-                from_heap = True
+                from_timers = False
+                if self._timer_count:
+                    timer_head = peek()
+                    if timer_head is not None and (
+                            (timer_head.when, timer_head.seq)
+                            < (head.when, head.seq)):
+                        head = timer_head
+                        from_timers = True
             else:
-                break
+                head = peek()
+                if head is None:
+                    break
+                from_timers = True
             if head.cancelled:
-                if from_heap:
-                    heappop(heap)
-                    if self._heap_cancelled:
-                        self._heap_cancelled -= 1
-                else:
-                    ready.popleft()
+                ready.popleft()
+                if head._pooled:
+                    self._recycle_handle(head)
                 continue
             if until is not None and head.when > until:
                 break
-            if from_heap:
-                heappop(heap)
-                head._in_heap = False
+            if from_timers:
+                timers.pop()
+                self._timer_count -= 1
+                head._in_timers = False
             else:
                 ready.popleft()
             self._now = head.when
             head.fn(*head.args)
+            if head._pooled:
+                self._recycle_handle(head)
         if until is not None and self._now < until and not self._stopped:
             self._now = until
         return self._now
@@ -445,7 +526,7 @@ class Kernel:
         """Run the loop until ``awaitable`` finishes; return its result."""
         fut = self.ensure_future(awaitable)
         while not fut.done():
-            if not self._heap and not self._ready:
+            if not self._timer_count and not self._ready:
                 raise RuntimeError("event loop ran dry before future completed")
             if self._now > limit:
                 raise SimTimeoutError(f"run_until_complete exceeded t={limit}")
@@ -454,55 +535,73 @@ class Kernel:
 
     def run_one(self) -> None:
         """Process a single (non-cancelled) event."""
-        heap = self._heap
+        timers = self._timers
         ready = self._ready
-        while heap or ready:
-            if ready and not (heap and heap[0] < ready[0]):
-                handle = ready.popleft()
+        while self._timer_count or ready:
+            timer_head = timers.peek() if self._timer_count else None
+            if ready:
+                handle = ready[0]
+                if timer_head is not None and (
+                        (timer_head.when, timer_head.seq)
+                        < (handle.when, handle.seq)):
+                    handle = timer_head
+                    timers.pop()
+                    self._timer_count -= 1
+                    handle._in_timers = False
+                else:
+                    ready.popleft()
+            elif timer_head is not None:
+                handle = timer_head
+                timers.pop()
+                self._timer_count -= 1
+                handle._in_timers = False
             else:
-                handle = heapq.heappop(heap)
-                if self._heap_cancelled and handle.cancelled:
-                    self._heap_cancelled -= 1
-                handle._in_heap = False
+                return
             if handle.cancelled:
+                if handle._pooled:
+                    self._recycle_handle(handle)
                 continue
             self._now = handle.when
             handle.fn(*handle.args)
+            if handle._pooled:
+                self._recycle_handle(handle)
             return
 
     def stop(self) -> None:
         self._stopped = True
 
     def pending_events(self) -> int:
-        return (sum(1 for h in self._heap if not h.cancelled)
+        return (sum(1 for h in self._timers if not h.cancelled)
                 + sum(1 for h in self._ready if not h.cancelled))
 
 
 class TimerHandle:
-    """A cancellable scheduled callback, orderable for the event heap."""
+    """A cancellable scheduled callback, orderable for the timer backends."""
 
-    __slots__ = ("when", "seq", "fn", "args", "cancelled", "_kernel", "_in_heap")
+    __slots__ = ("when", "seq", "fn", "args", "cancelled", "_kernel",
+                 "_in_timers", "_pooled")
 
     def __init__(self, when: float, seq: int, fn: Callable, args: tuple,
-                 kernel: Optional["Kernel"] = None):
+                 kernel: Optional["Kernel"] = None, pooled: bool = False):
         self.when = when
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
         self._kernel = kernel
-        self._in_heap = False
+        self._in_timers = False
+        self._pooled = pooled
 
     def cancel(self) -> None:
         if self.cancelled:
             return
         self.cancelled = True
         # Release the callback and its closed-over state immediately; the
-        # shell of the handle stays queued until the run loop skips it.
+        # shell of the handle stays queued until the backend skips it.
         self.fn = None
         self.args = ()
-        if self._in_heap and self._kernel is not None:
-            self._kernel._note_cancelled_in_heap()
+        if self._in_timers and self._kernel is not None:
+            self._kernel._timers.note_cancelled()
 
     def __lt__(self, other: "TimerHandle") -> bool:
         return (self.when, self.seq) < (other.when, other.seq)

@@ -1,0 +1,86 @@
+"""The bench regression gate (ISSUE 10): ``repro bench --check``.
+
+Pure-function coverage of the comparator -- no benchmark actually runs
+here.  The gate's contract: gated throughputs may drift down by the
+tolerance, anything worse fails, missing baselines (fresh machine, new
+metric) gate nothing, and improvements never complain.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench import (GATED_METRICS, REGRESSION_TOLERANCE,
+                         compare_to_baseline, load_baseline)
+
+
+def _results(**throughputs):
+    benchmarks = {}
+    for name, value in throughputs.items():
+        benchmarks[name] = {GATED_METRICS[name]: value}
+    return {"benchmarks": benchmarks}
+
+
+BASE = _results(kernel_timers=100_000, network_send=50_000,
+                trace_emit=200_000)
+
+
+class TestCompareToBaseline:
+    def test_healthy_run_passes(self):
+        assert compare_to_baseline(BASE, BASE) == []
+
+    def test_improvement_passes(self):
+        fast = _results(kernel_timers=300_000, network_send=150_000,
+                        trace_emit=600_000)
+        assert compare_to_baseline(fast, BASE) == []
+
+    def test_drift_within_tolerance_passes(self):
+        shave = 1.0 - REGRESSION_TOLERANCE + 0.01
+        ok = _results(kernel_timers=int(100_000 * shave),
+                      network_send=int(50_000 * shave),
+                      trace_emit=int(200_000 * shave))
+        assert compare_to_baseline(ok, BASE) == []
+
+    def test_regression_past_tolerance_fails_that_metric(self):
+        bad = _results(kernel_timers=int(100_000 * 0.5),
+                       network_send=50_000, trace_emit=200_000)
+        failures = compare_to_baseline(bad, BASE)
+        assert len(failures) == 1
+        assert failures[0].startswith("kernel_timers.events_per_sec")
+
+    def test_every_gated_metric_is_checked(self):
+        bad = _results(kernel_timers=1, network_send=1, trace_emit=1)
+        assert len(compare_to_baseline(bad, BASE)) == len(GATED_METRICS)
+
+    def test_missing_baseline_gates_nothing(self):
+        assert compare_to_baseline(BASE, None) == []
+        assert compare_to_baseline(BASE, {}) == []
+
+    def test_new_metric_without_baseline_entry_is_skipped(self):
+        old = {"benchmarks": {"kernel_timers":
+                              {"events_per_sec": 100_000}}}
+        assert compare_to_baseline(BASE, old) == []
+
+
+class TestLoadBaseline:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_micro.json"
+        path.write_text(json.dumps(BASE))
+        assert load_baseline(str(path)) == BASE
+
+    def test_absent_file_is_none(self, tmp_path):
+        assert load_baseline(str(tmp_path / "missing.json")) is None
+
+    def test_garbled_file_is_none(self, tmp_path):
+        path = tmp_path / "BENCH_micro.json"
+        path.write_text("{not json")
+        assert load_baseline(str(path)) is None
+        path.write_text('["a", "list"]')
+        assert load_baseline(str(path)) is None
+
+    def test_committed_baseline_has_every_gated_metric(self):
+        committed = (Path(__file__).resolve().parent.parent
+                     / "BENCH_micro.json")
+        baseline = load_baseline(str(committed))
+        assert baseline is not None
+        for name, key in GATED_METRICS.items():
+            assert baseline["benchmarks"][name][key] > 0

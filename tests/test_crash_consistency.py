@@ -176,13 +176,13 @@ class TestChangeLogRecovery:
         log = ChangeLog(disk, "log")
         for i in range(5):
             log.append(_op(i), epoch=1)
-        state = disk.read("log")
-        seq, epoch, op, _sum = state["entries"][2]
-        state["entries"][2] = (seq, epoch, op, "0" * 16)
-        disk.write("log", state)
+        seq, epoch, op, _sum = disk.read("log.e/3")
+        disk.write("log.e/3", (seq, epoch, op, "0" * 16))
         reopened = ChangeLog(disk, "log")
         assert reopened.seq == 2                    # valid prefix only
         assert reopened.recovered_truncated == 3
+        # The invalid suffix is gone from disk, not just from memory.
+        assert disk.read("log.e/4") is None
         # The rebuilt digest matches an honest 2-entry history.
         honest = ChangeLog(Disk(), "log")
         for i in range(2):
@@ -194,20 +194,29 @@ class TestChangeLogRecovery:
         log = ChangeLog(disk, "log")
         for i in range(3):
             log.append(_op(i), epoch=1)
-        state = disk.read("log")
-        seq, epoch, _op_, csum = state["entries"][1]
-        state["entries"][1] = (seq, epoch, ("write", "t", "k1", 666, False),
-                               csum)
-        disk.write("log", state)
+        seq, epoch, _op_, csum = disk.read("log.e/2")
+        disk.write("log.e/2", (seq, epoch,
+                               ("write", "t", "k1", 666, False), csum))
         assert ChangeLog(disk, "log").seq == 1
 
-    def test_unreadable_state_starts_fresh_and_flags_it(self):
+    def test_garbled_first_entry_loses_the_whole_chain(self):
         disk = Disk()
         log = ChangeLog(disk, "log")
         for i in range(3):
             log.append(_op(i), epoch=1)
-        disk.corrupt("log")
+        disk.corrupt("log.e/1")
         reopened = ChangeLog(disk, "log")
+        assert reopened.seq == 0
+        assert reopened.recovered_truncated == 3
+
+    def test_unreadable_header_starts_fresh_and_flags_it(self):
+        disk = Disk()
+        log = ChangeLog(disk, "log", retain=2)
+        for i in range(6):
+            log.append(_op(i), epoch=1)
+        assert log.compactions > 0                  # a header exists now
+        disk.corrupt("log")
+        reopened = ChangeLog(disk, "log", retain=2)
         assert reopened.seq == 0
         assert reopened.recovered_corrupt
 
@@ -215,19 +224,32 @@ class TestChangeLogRecovery:
         disk = Disk()
         atomic_disk_write(disk, "k", {"v": 1})
         assert "k.new" not in disk                  # spare pruned on success
-        # Interrupted swap: main garbled, spare still holds the payload --
-        # recovery must read the spare instead of starting fresh.
+        # Interrupted swap: main header garbled, spare still holds the
+        # payload -- recovery must read the spare instead of starting
+        # fresh.
         log_disk = Disk()
-        log = ChangeLog(log_disk, "log")
-        for i in range(3):
+        log = ChangeLog(log_disk, "log", retain=2)
+        for i in range(6):
             log.append(_op(i), epoch=1)
         state = log_disk.read("log")
         log_disk.corrupt("log")
         log_disk.write("log.new", state)
-        reopened = ChangeLog(log_disk, "log")
-        assert reopened.seq == 3                    # nothing lost ...
+        reopened = ChangeLog(log_disk, "log", retain=2)
+        assert reopened.seq == 6                    # nothing lost ...
         assert reopened.recovered_corrupt           # ... garbage still flagged
         assert reopened.recovered_truncated == 0
+        assert reopened.digest == log.digest
+
+    def test_append_is_one_entry_write_not_a_log_rewrite(self):
+        """The schema-2 point: appending must not rewrite the window."""
+        disk = Disk()
+        log = ChangeLog(disk, "log")
+        for i in range(10):
+            log.append(_op(i), epoch=1)
+        before = disk.writes
+        log.append(_op(10), epoch=1)
+        assert disk.writes == before + 1            # the entry key, only
+        assert disk.read("log") is None             # header: never compacted
 
     def test_compaction_survives_reopen(self):
         disk = Disk()
@@ -236,11 +258,33 @@ class TestChangeLogRecovery:
             log.append(_op(i), epoch=2)
         reopened = ChangeLog(disk, "log", retain=4)
         assert reopened.seq == 10
-        assert reopened.base_seq == 6
+        assert reopened.base_seq == 5
         assert reopened.base_epoch == 2
         assert reopened.digest == log.digest
         # The retained window still serves an in-window cursor.
         assert [e[0] for e in reopened.entries_from(8, 2)] == [9, 10]
+        # Dropped entries' keys went with the compaction.
+        assert disk.read("log.e/5") is None
+        assert disk.read("log.e/6") is not None
+
+    def test_crashed_compaction_orphans_are_swept(self):
+        """Header-first compaction: a crash between the header write and
+        the entry deletes leaves orphan keys below the watermark, which
+        the next recovery removes without touching the live window."""
+        disk = Disk()
+        log = ChangeLog(disk, "log", retain=4)
+        for i in range(10):
+            log.append(_op(i), epoch=2)
+        # Resurrect two dropped keys, as if the compaction's deletes
+        # never hit the platter.
+        disk.write("log.e/5", (5, 2, _op(4), "feedfacefeedface"))
+        disk.write("log.e/4", (4, 2, _op(3), "feedfacefeedface"))
+        reopened = ChangeLog(disk, "log", retain=4)
+        assert reopened.seq == 10
+        assert reopened.base_seq == 5
+        assert reopened.recovered_truncated == 0    # orphans are not a tear
+        assert disk.read("log.e/5") is None
+        assert disk.read("log.e/4") is None
 
 
 class TestCompactionRace:
@@ -250,15 +294,15 @@ class TestCompactionRace:
         log = ChangeLog(Disk(), "log", retain=4)
         for i in range(10):
             log.append(_op(i), epoch=2)
-        assert log.base_seq == 6
-        tail = log.entries_from(6, 2)               # exactly at watermark
-        assert [e[0] for e in tail] == [7, 8, 9, 10]
+        assert log.base_seq == 5
+        tail = log.entries_from(5, 2)               # exactly at watermark
+        assert [e[0] for e in tail] == [6, 7, 8, 9, 10]
 
     def test_cursor_one_before_watermark_forces_snapshot(self):
         log = ChangeLog(Disk(), "log", retain=4)
         for i in range(10):
             log.append(_op(i), epoch=2)
-        assert log.entries_from(5, 2) is None       # one past the window
+        assert log.entries_from(4, 2) is None       # one past the window
 
     def test_on_compact_fires_before_truncation_persists(self):
         """The crash-safety ordering: the snapshot hook runs while the
@@ -270,9 +314,13 @@ class TestCompactionRace:
 
         def hook():
             # At hook time the *durable* image must still be the
-            # pre-truncation log, even though the in-memory window has
-            # already moved: compare the two watermarks at this instant.
-            seen.append((disk.read("log")["base_seq"], log.base_seq))
+            # pre-truncation log: the header (if any) still claims the
+            # old watermark and every about-to-drop entry key is intact,
+            # even though the in-memory window has already moved.
+            header = disk.read("log")
+            durable_base = header["base_seq"] if header is not None else 0
+            seen.append((durable_base, log.base_seq))
+            assert disk.read(f"log.e/{durable_base + 1}") is not None
 
         log = ChangeLog(disk, "log", retain=4, on_compact=hook)
         for i in range(10):

@@ -69,11 +69,31 @@ class TestChangeLogUnit:
                         on_compact=lambda: fired.append(log.seq))
         for i in range(10):
             log.append(_op(i), epoch=2)
-        assert len(log.entries) == 4
-        assert log.base_seq == 6 and log.base_epoch == 2
-        assert log.compactions == 6 and fired
+        # Hysteresis: the log grew to 2*retain+1 entries (seq 9), then
+        # cut back to retain in one step; one more append since.
+        assert len(log.entries) == 5
+        assert log.base_seq == 5 and log.base_epoch == 2
+        assert log.compactions == 1 and fired == [9]
         assert log.epoch_at(log.base_seq) == 2      # watermark answers
         assert log.epoch_at(log.base_seq - 1) is None  # truncated away
+
+    def test_compaction_frequency_is_appends_over_retain(self):
+        """The hysteresis contract: steady-state appends pay one
+        compaction (one header rewrite + one snapshot hook) per
+        ``retain`` appends -- not one per append at the high-water
+        mark, the schema-1 pathology the changelog_append bench caught
+        (5000 appends used to cost ~4500 compactions)."""
+        retain = 8
+        n = 400
+        log = ChangeLog(Disk(), "log", retain=retain)
+        for i in range(n):
+            log.append(_op(i), epoch=1)
+        assert 0 < log.compactions <= n // retain
+        # The window breathes between retain and 2*retain entries.
+        assert retain <= len(log.entries) <= 2 * retain
+        # And the retained tail still serves incremental catch-up.
+        tail = log.entries_from(log.base_seq, 1)
+        assert [e[0] for e in tail] == list(range(log.base_seq + 1, n + 1))
 
     def test_entries_from_serves_shared_history_only(self):
         log = ChangeLog(Disk(), "log", retain=4)
